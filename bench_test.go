@@ -1,0 +1,343 @@
+// Package bench regenerates every table and figure of the paper as Go
+// benchmarks, at reduced (quick) scale so a full -bench=. pass completes in
+// minutes. Each benchmark reports the headline quantity of its artifact as
+// a custom metric next to the usual ns/op, so `go test -bench=. -benchmem`
+// output doubles as a compact reproduction report:
+//
+//	BenchmarkTable3HitRate     HR@10 gains per variant (vs SGNS)
+//	BenchmarkFig3OnlineCTR     mean CTR improvement of SISG over CF
+//	BenchmarkFig5TSNE          silhouette of user-type embedding by gender
+//	BenchmarkFig7aWorkers      simulated-cluster speedup at 8 workers
+//	BenchmarkFig7bCorpus       tokens/hour at two corpus sizes
+//	BenchmarkAblationHBGP      remote-call fraction, HBGP vs random
+//	BenchmarkAblationATNS      remote-call fraction, ATNS vs TNS
+//
+// The committed full-scale numbers live in EXPERIMENTS.md; regenerate them
+// with cmd/sisg-bench.
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"sisg/internal/abtest"
+	"sisg/internal/corpus"
+	"sisg/internal/dist"
+	"sisg/internal/eges"
+	"sisg/internal/eval"
+	"sisg/internal/experiments"
+	"sisg/internal/graph"
+	"sisg/internal/knn"
+	"sisg/internal/sgns"
+	"sisg/internal/sisg"
+	"sisg/internal/tsne"
+)
+
+// benchCorpus is the shared workload for the macro benchmarks: small enough
+// to train one variant in a few seconds.
+func benchCorpus() corpus.Config {
+	c := corpus.Tiny()
+	c.NumSessions = 6000
+	return c
+}
+
+func benchTrainOpts() sgns.Options {
+	o := sgns.Defaults()
+	o.Epochs = 2
+	return o
+}
+
+// BenchmarkTable2DatasetStats regenerates the Table II statistics.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := corpus.Generate(benchCorpus())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := ds.ComputeStats(10*(1+corpus.NumSIColumns), 20)
+		b.ReportMetric(float64(st.Tokens), "tokens")
+		b.ReportMetric(float64(st.TrainingPairs), "training-pairs")
+	}
+}
+
+// BenchmarkTable3HitRate regenerates the Table III comparison at quick
+// scale and reports each variant's HR@10 (×10⁴) as a metric.
+func BenchmarkTable3HitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Table3Config{
+			Corpus:   benchCorpus(),
+			Train:    benchTrainOpts(),
+			TestFrac: 0.1,
+			Ks:       []int{10},
+		}
+		res, err := experiments.RunTable3(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(1e4*row.Result.HR[10], "HR10e4-"+row.Result.Model)
+		}
+	}
+}
+
+// BenchmarkFig3OnlineCTR regenerates the 8-day A/B simulation and reports
+// the CTR improvement of SISG over CF in percent.
+func BenchmarkFig3OnlineCTR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(benchCorpus(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Improvement("SISG-F-U-D", "CF"), "ctr-gain-%")
+	}
+}
+
+// BenchmarkFig5TSNE embeds the user-type vectors and reports the gender
+// silhouette (paper: visibly separated regions).
+func BenchmarkFig5TSNE(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sisg.Train(ds.Dict, ds.Sessions, sisg.VariantSISGFUD, benchTrainOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(ds.Pop.Types)
+	vecs := make([][]float32, n)
+	genders := make([]int, n)
+	for t := 0; t < n; t++ {
+		vecs[t] = m.Emb.Out.Row(ds.Dict.UserType[t])
+		genders[t] = int(ds.Pop.Types[t].Gender)
+	}
+	opt := tsne.Defaults()
+	opt.Perplexity = 15
+	opt.Iterations = 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, err := tsne.Embed(vecs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tsne.Silhouette(y, genders), "silhouette-gender")
+	}
+}
+
+// BenchmarkFig7aWorkers runs the worker sweep endpoints (1 and 8) and
+// reports the simulated speedup.
+func BenchmarkFig7aWorkers(b *testing.B) {
+	cfg := benchCorpus()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig7a(cfg, []int{1, 8}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup := rows[0].Stats.SimElapsed.Seconds() / rows[1].Stats.SimElapsed.Seconds()
+		b.ReportMetric(speedup, "speedup-8w")
+		b.ReportMetric(100*rows[1].Stats.RemoteFraction(), "remote-%-8w")
+	}
+}
+
+// BenchmarkFig7bCorpus runs the corpus-size endpoints and reports the
+// throughput ratio (large/small): below 1 because larger vocabularies pay
+// more memory misses, stabilizing as the paper's Figure 7(b) shows.
+func BenchmarkFig7bCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig7b(benchCorpus(), []float64{1, 4}, 4, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		small := rows[0].Stats.SimTokensPerSec()
+		large := rows[1].Stats.SimTokensPerSec()
+		b.ReportMetric(large/small, "speed-ratio-large/small")
+	}
+}
+
+// BenchmarkAblationHBGP compares HBGP against random partitioning on the
+// remote-call fraction at 4 workers.
+func BenchmarkAblationHBGP(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := sisg.Enrich(ds.Dict, ds.Sessions, sisg.VariantSISGFUD)
+	freq := make([]float64, ds.Dict.NumItems)
+	for i := range freq {
+		freq[i] = float64(ds.Dict.Count(int32(i)))
+	}
+	const w = 4
+	hbgp, _, err := dist.PartitionForDataset(ds, ds.Sessions, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	random := graph.RandomPartition(ds.Dict.NumItems, freq, w, 1)
+	run := func(p *graph.Partition) dist.Stats {
+		opt := dist.DefaultOptions(w)
+		opt.Options = sisg.TrainOptions(opt.Options, sisg.VariantSISGFUD, 3)
+		opt.Epochs = 1
+		_, st, err := dist.Train(ds.Dict.Dict, seqs, p, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := run(hbgp)
+		b.ReportMetric(100*st.RemoteFraction(), "remote-%-hbgp")
+		st = run(random)
+		b.ReportMetric(100*st.RemoteFraction(), "remote-%-random")
+	}
+}
+
+// BenchmarkAblationATNS toggles hot-token replication.
+func BenchmarkAblationATNS(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := sisg.Enrich(ds.Dict, ds.Sessions, sisg.VariantSISGFUD)
+	const w = 4
+	part, _, err := dist.PartitionForDataset(ds, ds.Sessions, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(hot bool) dist.Stats {
+		opt := dist.DefaultOptions(w)
+		opt.Options = sisg.TrainOptions(opt.Options, sisg.VariantSISGFUD, 3)
+		opt.Epochs = 1
+		opt.HotReplication = hot
+		_, st, err := dist.Train(ds.Dict.Dict, seqs, part, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(100*run(true).RemoteFraction(), "remote-%-atns")
+		b.ReportMetric(100*run(false).RemoteFraction(), "remote-%-tns")
+	}
+}
+
+// ---- Component micro-benchmarks ----
+
+// BenchmarkSGNSTrain measures the local trainer's token throughput.
+func BenchmarkSGNSTrain(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := sisg.Enrich(ds.Dict, ds.Sessions, sisg.VariantSGNS)
+	opt := benchTrainOpts()
+	opt.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := sgns.Train(ds.Dict.Dict, seqs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.TokensPerSec(), "tokens/s")
+	}
+}
+
+// BenchmarkEGESTrain measures the EGES baseline end to end.
+func BenchmarkEGESTrain(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.FromSessions(ds.Sessions, ds.Dict.NumItems)
+	opt := eges.Defaults()
+	opt.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eges.Train(ds.Dict, g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNNRetrieval measures the matching-stage query path (the paper's
+// serving-side operation) on a trained model.
+func BenchmarkKNNRetrieval(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sisg.Train(ds.Dict, ds.Sessions, sisg.VariantSISGFUD, benchTrainOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.ItemIndex() // build outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SimilarItems(int32(i%ds.Dict.NumItems), 20)
+	}
+}
+
+// BenchmarkHBGPPartition measures the partitioner itself.
+func BenchmarkHBGPPartition(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.FromSessions(ds.Sessions, ds.Dict.NumItems)
+	leafOf := make([]int32, ds.Dict.NumItems)
+	freq := make([]float64, ds.Dict.NumItems)
+	for i := 0; i < ds.Dict.NumItems; i++ {
+		leafOf[i] = ds.Catalog.LeafOf(int32(i))
+		freq[i] = float64(ds.Dict.Count(int32(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := graph.HBGP(g, leafOf, ds.Catalog.NumLeaves(), freq, 4, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*p.CutFraction(g), "cut-%")
+	}
+}
+
+// BenchmarkABTestDay measures one simulated A/B day.
+func BenchmarkABTestDay(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sisg.Train(ds.Dict, ds.Sessions, sisg.VariantSISGFUD, benchTrainOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	arms := map[string]abtest.CandidateFunc{
+		"SISG": func(q, user int32, k int) []knn.Result { return m.SimilarItems(q, k) },
+	}
+	cfg := abtest.Config{Days: 1, ImpressionsPerDay: 2000, Candidates: 40, Shown: 6, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := abtest.Run(ds, arms, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateHR measures the evaluation harness itself.
+func BenchmarkEvaluateHR(b *testing.B) {
+	ds, err := corpus.Generate(benchCorpus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := ds.SplitNextItem(0.1)
+	m, err := sisg.Train(ds.Dict, split.Train, sisg.VariantSISGFUD, benchTrainOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
+		return m.SimilarItems(tc.Query, k)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.Evaluate("bench", rec, split.Test, []int{10})
+		b.ReportMetric(1e4*res.HR[10], "HR10e4")
+	}
+}

@@ -1,0 +1,79 @@
+// Command sisg-eval evaluates a trained embedding model on the next-item
+// protocol (§IV-A): HR@K over the deterministic test split of the corpus.
+//
+//	sisg-eval -corpus Sim25K -variant SISG-F-U-D -model model.emb
+//
+// The corpus and split are regenerated deterministically, so evaluation
+// matches the split sisg-train trained on only if the sessions came from
+// the same config and seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sisg/internal/corpus"
+	"sisg/internal/emb"
+	"sisg/internal/eval"
+	"sisg/internal/experiments"
+	"sisg/internal/knn"
+	"sisg/internal/sisg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sisg-eval: ")
+	var (
+		corpusName = flag.String("corpus", "quick", "dataset config: Sim25K, Sim100K, Sim800K, quick, tiny")
+		modelPath  = flag.String("model", "model.emb", "embedding file from sisg-train")
+		variant    = flag.String("variant", "SISG-F-U-D", "variant the model was trained as (controls the scoring rule)")
+		testFrac   = flag.Float64("testfrac", 0.08, "held-out session fraction")
+		seed       = flag.Uint64("seed", 0, "override corpus seed (0 = config default)")
+	)
+	flag.Parse()
+
+	cfg, err := experiments.CorpusByName(*corpusName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	v, err := sisg.VariantByName(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := emb.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("loading %s: %v", *modelPath, err)
+	}
+
+	log.Printf("generating %s ...", cfg.Name)
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if m.Vocab() != ds.Dict.Len() {
+		log.Fatalf("model vocabulary %d does not match corpus vocabulary %d — wrong corpus or seed?",
+			m.Vocab(), ds.Dict.Len())
+	}
+	split := ds.SplitNextItem(*testFrac)
+	model := &sisg.Model{Variant: v, Dict: ds.Dict, Emb: m}
+
+	rec := eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
+		return model.SimilarItems(tc.Query, k)
+	})
+	res := eval.Evaluate(v.Name, rec, split.Test, eval.Ks)
+	fmt.Printf("test cases: %d\n", res.Tests)
+	for _, k := range eval.Ks {
+		fmt.Printf("HR@%-4d %.4f\n", k, res.HR[k])
+	}
+}

@@ -1,0 +1,87 @@
+// Command sisg-server runs the matching-stage similarity service (see
+// internal/server): it trains (or loads) a SISG model and serves candidate
+// sets over HTTP, covering the paper's three production retrieval paths:
+//
+//	GET /similar?item=123&k=20          item-to-item candidates (§II)
+//	GET /coldstart/item?item=123&k=20   Eq. 6 SI-only inference (§IV-C2)
+//	GET /coldstart/user?gender=F&age=2&power=1&k=20
+//	                                    user-type averaging (§IV-C1)
+//	GET /healthz, /stats                liveness and serving counters
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sisg/internal/corpus"
+	"sisg/internal/emb"
+	"sisg/internal/experiments"
+	"sisg/internal/server"
+	"sisg/internal/sgns"
+	"sisg/internal/sisg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sisg-server: ")
+	var (
+		corpusName = flag.String("corpus", "quick", "dataset config: Sim25K, Sim100K, quick, tiny")
+		modelPath  = flag.String("model", "", "embedding file from sisg-train (empty = train now)")
+		variant    = flag.String("variant", "SISG-F-U-D", "model variant")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxK       = flag.Int("maxk", 1000, "largest candidate set a request may ask for")
+		seed       = flag.Uint64("seed", 0, "override corpus seed")
+	)
+	flag.Parse()
+
+	cfg, err := experiments.CorpusByName(*corpusName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	v, err := sisg.VariantByName(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("generating %s ...", cfg.Name)
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var model *sisg.Model
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := emb.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.Vocab() != ds.Dict.Len() {
+			log.Fatalf("model vocab %d != corpus vocab %d", m.Vocab(), ds.Dict.Len())
+		}
+		model = &sisg.Model{Variant: v, Dict: ds.Dict, Emb: m}
+	} else {
+		log.Printf("training %s ...", v.Name)
+		model, err = sisg.Train(ds.Dict, ds.Sessions, v, sgns.Defaults())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(ds, model, *maxK).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving %s model for %s on %s", v.Name, cfg.Name, *addr)
+	log.Fatal(srv.ListenAndServe())
+}

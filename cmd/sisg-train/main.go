@@ -1,0 +1,163 @@
+// Command sisg-train trains a SISG variant (stages 1-4 of §III-C plus the
+// training itself) and writes the embedding model.
+//
+// Local (Hogwild) training:
+//
+//	sisg-train -corpus Sim25K -variant SISG-F-U-D -out model.emb
+//
+// Simulated-distributed training with HBGP + ATNS (§III):
+//
+//	sisg-train -corpus Sim25K -variant SISG-F-U-D -workers 8 -out model.emb
+//
+// Sessions are regenerated deterministically from the corpus config, or
+// read from a file produced by sisg-datagen via -sessions.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"sisg/internal/corpus"
+	"sisg/internal/dist"
+	"sisg/internal/emb"
+	"sisg/internal/experiments"
+	"sisg/internal/seqio"
+	"sisg/internal/sgns"
+	"sisg/internal/sisg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sisg-train: ")
+	var (
+		corpusName = flag.String("corpus", "quick", "dataset config: Sim25K, Sim100K, Sim800K, quick, tiny")
+		sessions   = flag.String("sessions", "", "optional session file from sisg-datagen (binary format)")
+		variant    = flag.String("variant", "SISG-F-U-D", "model variant: SGNS, SISG-F, SISG-U, SISG-F-U, SISG-F-U-D")
+		out        = flag.String("out", "model.emb", "output embedding file")
+		dim        = flag.Int("dim", 32, "embedding dimension")
+		window     = flag.Int("window", 5, "context window in items")
+		negatives  = flag.Int("negatives", 5, "negative samples per pair")
+		epochs     = flag.Int("epochs", 2, "training epochs")
+		lr         = flag.Float64("lr", 0.025, "initial learning rate")
+		workers    = flag.Int("workers", 0, "simulated distributed workers (0 = local Hogwild training)")
+		w2vOut     = flag.String("w2v", "", "optionally also export input vectors in word2vec text format")
+		resumeFrom = flag.String("resume", "", "warm-start from an existing model (daily incremental update)")
+		seed       = flag.Uint64("seed", 0, "override corpus seed (0 = config default)")
+	)
+	flag.Parse()
+
+	cfg, err := experiments.CorpusByName(*corpusName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	v, err := sisg.VariantByName(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("generating %s ...", cfg.Name)
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := ds.Sessions
+	if *sessions != "" {
+		f, err := os.Open(*sessions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train, err = seqio.ReadBinary(f, ds.Dict.NumItems)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading %s: %v", *sessions, err)
+		}
+		log.Printf("loaded %d sessions from %s", len(train), *sessions)
+	}
+
+	opt := sgns.Defaults()
+	opt.Dim = *dim
+	opt.Window = *window
+	opt.Negatives = *negatives
+	opt.Epochs = *epochs
+	opt.LR = float32(*lr)
+	opt.Seed = cfg.Seed
+
+	start := time.Now()
+	var model *sisg.Model
+	switch {
+	case *resumeFrom != "":
+		f, err := os.Open(*resumeFrom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prev, err := emb.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading %s: %v", *resumeFrom, err)
+		}
+		seqs := sisg.Enrich(ds.Dict, train, v)
+		ropt := sisg.TrainOptions(opt, v, opt.Window)
+		st, err := sgns.Resume(prev, ds.Dict.Dict, seqs, ropt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warm-started from %s: %d incremental pairs", *resumeFrom, st.Pairs)
+		model = &sisg.Model{Variant: v, Dict: ds.Dict, Emb: prev, Stats: st}
+	case *workers > 0:
+		log.Printf("distributed training: %d workers, HBGP + ATNS", *workers)
+		seqs := sisg.Enrich(ds.Dict, train, v)
+		part, _, err := dist.PartitionForDataset(ds, train, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dopt := dist.DefaultOptions(*workers)
+		dopt.Options = sisg.TrainOptions(opt, v, opt.Window)
+		dmodel, st, err := dist.Train(ds.Dict.Dict, seqs, part, dopt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained %d pairs (%.1f%% remote), simulated cluster time %v",
+			st.Pairs, 100*st.RemoteFraction(), st.SimElapsed.Round(time.Millisecond))
+		model = &sisg.Model{Variant: v, Dict: ds.Dict, Emb: dmodel}
+	default:
+		model, err = sisg.Train(ds.Dict, train, v, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained %d pairs at %.0f tokens/s", model.Stats.Pairs, model.Stats.TokensPerSec())
+	}
+	log.Printf("training took %v", time.Since(start).Round(time.Millisecond))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = model.Emb.Save(f)
+	if err2 := f.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	log.Printf("wrote %d×%d model (in+out) to %s", model.Emb.Vocab(), model.Emb.Dim(), *out)
+
+	if *w2vOut != "" {
+		f, err := os.Create(*w2vOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = emb.SaveWord2VecText(f, model.Emb, ds.Dict.Dict, true)
+		if err2 := f.Close(); err == nil {
+			err = err2
+		}
+		if err != nil {
+			log.Fatalf("writing %s: %v", *w2vOut, err)
+		}
+		log.Printf("exported word2vec text format to %s", *w2vOut)
+	}
+}

@@ -1,0 +1,3 @@
+module sisg
+
+go 1.22

@@ -1,0 +1,170 @@
+package abtest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sisg/internal/corpus"
+	"sisg/internal/knn"
+)
+
+func tinyDS(t *testing.T) *corpus.Dataset {
+	t.Helper()
+	cfg := corpus.Tiny()
+	cfg.NumSessions = 300
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func smallConfig() Config {
+	return Config{Days: 3, ImpressionsPerDay: 500, Candidates: 20, Shown: 4, Seed: 1}
+}
+
+// oracleArm returns ground-truth-adjacent candidates: the forward lane of
+// the query plus the funnel hubs — close to the best possible matcher.
+func oracleArm(ds *corpus.Dataset) CandidateFunc {
+	return func(q, user int32, k int) []knn.Result {
+		leaf := ds.Catalog.LeafOf(q)
+		items := ds.Catalog.LeafItems[leaf]
+		rank := int(ds.Catalog.RankInLeaf[q])
+		var out []knn.Result
+		for i := 1; len(out) < k && rank+i < len(items); i++ {
+			out = append(out, knn.Result{ID: items[rank+i], Score: float32(k - len(out))})
+		}
+		g := ds.Pop.Types[user].Gender
+		next := ds.Catalog.AccessoryLeaf(leaf, g)
+		for _, id := range ds.Catalog.LeafItems[next] {
+			if len(out) >= k {
+				break
+			}
+			out = append(out, knn.Result{ID: id, Score: 1})
+		}
+		return out
+	}
+}
+
+// junkArm returns fixed irrelevant candidates.
+func junkArm(ds *corpus.Dataset) CandidateFunc {
+	return func(q, user int32, k int) []knn.Result {
+		out := make([]knn.Result, 0, k)
+		for i := 0; i < k; i++ {
+			out = append(out, knn.Result{ID: int32(i), Score: 1})
+		}
+		return out
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := tinyDS(t)
+	if _, err := Run(ds, nil, smallConfig()); err == nil {
+		t.Error("no arms accepted")
+	}
+	arms := map[string]CandidateFunc{"a": junkArm(ds)}
+	bad := smallConfig()
+	bad.Days = 0
+	if _, err := Run(ds, arms, bad); err == nil {
+		t.Error("Days=0 accepted")
+	}
+	bad = smallConfig()
+	bad.Shown = 30 // > Candidates
+	if _, err := Run(ds, arms, bad); err == nil {
+		t.Error("Shown > Candidates accepted")
+	}
+}
+
+func TestOracleBeatsJunk(t *testing.T) {
+	ds := tinyDS(t)
+	arms := map[string]CandidateFunc{
+		"oracle": oracleArm(ds),
+		"junk":   junkArm(ds),
+	}
+	res, err := Run(ds, arms, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 3 {
+		t.Fatalf("%d days", len(res.Days))
+	}
+	if res.MeanCTR("oracle") <= res.MeanCTR("junk") {
+		t.Fatalf("oracle CTR %.4f not above junk %.4f",
+			res.MeanCTR("oracle"), res.MeanCTR("junk"))
+	}
+	if res.Improvement("oracle", "junk") <= 0 {
+		t.Fatal("improvement not positive")
+	}
+}
+
+func TestCTRBounds(t *testing.T) {
+	ds := tinyDS(t)
+	arms := map[string]CandidateFunc{"oracle": oracleArm(ds)}
+	res, err := Run(ds, arms, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Days {
+		ctr := d.CTR["oracle"]
+		if ctr < 0 || ctr > 1 {
+			t.Fatalf("day %d CTR %v", d.Day, ctr)
+		}
+		if d.Imps != smallConfig().ImpressionsPerDay {
+			t.Fatalf("day %d imps %d", d.Day, d.Imps)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := tinyDS(t)
+	arms := map[string]CandidateFunc{"oracle": oracleArm(ds)}
+	a, err := Run(ds, arms, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regenerate dataset so the generator stream restarts identically.
+	ds2 := tinyDS(t)
+	arms2 := map[string]CandidateFunc{"oracle": oracleArm(ds2)}
+	b, err := Run(ds2, arms2, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Days {
+		if a.Days[i].CTR["oracle"] != b.Days[i].CTR["oracle"] {
+			t.Fatal("A/B simulation not deterministic")
+		}
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	ds := tinyDS(t)
+	arms := map[string]CandidateFunc{
+		"CF":   junkArm(ds),
+		"SISG": oracleArm(ds),
+	}
+	res, err := Run(ds, arms, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteSeries(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "Day") || !strings.Contains(out, "improvement") {
+		t.Fatalf("series output malformed:\n%s", out)
+	}
+}
+
+func TestClickProbBounds(t *testing.T) {
+	ds := tinyDS(t)
+	shown := []int32{0, 1, 2, 3}
+	p := clickProb(ds, shown, 0, 0)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("click prob %v", p)
+	}
+	// Showing the true next item must beat not showing it.
+	pMiss := clickProb(ds, []int32{5, 6, 7, 8}, 0, 0)
+	if p <= pMiss {
+		t.Fatalf("hit prob %v not above miss prob %v", p, pMiss)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cf implements the item-to-item collaborative filtering baseline —
+// the "well-tuned CF" the paper compares against both offline (Table III
+// context) and online (Figure 3). It follows the classic Amazon-style
+// item-item CF [Linden et al. 2003] that Taobao ran before embedding
+// methods: co-occurrence counting inside session windows, normalized by
+// item popularity.
+//
+// "Well-tuned" here means the standard production refinements:
+//
+//   - window-limited co-occurrence with distance decay (adjacent clicks
+//     count more than distant ones),
+//   - cosine-style normalization cooc(i,j)/sqrt(freq(i)·freq(j)) to stop
+//     bestsellers from dominating every list,
+//   - optional hot-item damping exponent, and
+//   - top-K list truncation per item, which is also what makes serving
+//     memory practical at scale.
+package cf
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+
+	"sisg/internal/corpus"
+	"sisg/internal/knn"
+)
+
+// Options tunes the CF model.
+type Options struct {
+	Window   int     // max click distance counted as co-occurrence
+	Decay    float64 // weight = Decay^(distance-1); 1 = no decay
+	Damping  float64 // popularity normalization exponent (0.5 = cosine)
+	TopK     int     // neighbours kept per item
+	MinCooc  float64 // discard pairs with weighted co-occurrence below this
+	Directed bool    // count only forward co-occurrence (ablation; off = classic CF)
+}
+
+// Defaults returns the "well-tuned" configuration used by the benchmarks.
+func Defaults() Options {
+	return Options{
+		Window:  5,
+		Decay:   0.8,
+		Damping: 0.5,
+		TopK:    400,
+		MinCooc: 2.5,
+	}
+}
+
+// Model holds the truncated neighbour lists.
+type Model struct {
+	opts Options
+	// neighbours[i] is the sorted (descending score) top-K list for item i.
+	neighbours [][]knn.Result
+}
+
+// Train counts co-occurrences over the sessions and builds top-K lists.
+// numItems bounds the item ID space.
+func Train(sessions []corpus.Session, numItems int, opts Options) (*Model, error) {
+	if numItems <= 0 {
+		return nil, errors.New("cf: numItems must be positive")
+	}
+	if opts.Window <= 0 {
+		return nil, errors.New("cf: Window must be positive")
+	}
+	if opts.TopK <= 0 {
+		return nil, errors.New("cf: TopK must be positive")
+	}
+
+	freq := make([]float64, numItems)
+	// Sparse accumulation: per-item co-occurrence maps. Memory is bounded
+	// by the number of distinct observed pairs, not numItems².
+	cooc := make([]map[int32]float64, numItems)
+	bump := func(a, b int32, w float64) {
+		m := cooc[a]
+		if m == nil {
+			m = make(map[int32]float64, 8)
+			cooc[a] = m
+		}
+		m[b] += w
+	}
+
+	for si := range sessions {
+		items := sessions[si].Items
+		for i, a := range items {
+			freq[a]++
+			hi := i + opts.Window
+			if hi >= len(items) {
+				hi = len(items) - 1
+			}
+			for j := i + 1; j <= hi; j++ {
+				b := items[j]
+				if a == b {
+					continue
+				}
+				w := math.Pow(opts.Decay, float64(j-i-1))
+				bump(a, b, w)
+				if !opts.Directed {
+					bump(b, a, w)
+				}
+			}
+		}
+	}
+
+	m := &Model{opts: opts, neighbours: make([][]knn.Result, numItems)}
+	for i := range cooc {
+		if cooc[i] == nil {
+			continue
+		}
+		h := make(resultHeap, 0, opts.TopK)
+		for j, c := range cooc[i] {
+			if c < opts.MinCooc {
+				continue
+			}
+			score := c / (math.Pow(freq[i], opts.Damping) * math.Pow(freq[j], opts.Damping))
+			r := knn.Result{ID: j, Score: float32(score)}
+			if len(h) < opts.TopK {
+				heap.Push(&h, r)
+			} else if r.Score > h[0].Score {
+				h[0] = r
+				heap.Fix(&h, 0)
+			}
+		}
+		sort.Slice(h, func(a, b int) bool {
+			if h[a].Score != h[b].Score {
+				return h[a].Score > h[b].Score
+			}
+			return h[a].ID < h[b].ID
+		})
+		m.neighbours[i] = h
+	}
+	return m, nil
+}
+
+// Similar returns up to k neighbours of item id, best first.
+func (m *Model) Similar(id int32, k int) []knn.Result {
+	n := m.neighbours[id]
+	if k > len(n) {
+		k = len(n)
+	}
+	return n[:k]
+}
+
+// NeighbourCount returns how many neighbours item id has stored; 0 means
+// the item was never observed co-occurring (a cold item CF cannot serve —
+// exactly the weakness SI addresses).
+func (m *Model) NeighbourCount(id int32) int { return len(m.neighbours[id]) }
+
+// MemoryEntries returns the total number of stored (item, neighbour) pairs.
+func (m *Model) MemoryEntries() int {
+	n := 0
+	for i := range m.neighbours {
+		n += len(m.neighbours[i])
+	}
+	return n
+}
+
+type resultHeap []knn.Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(knn.Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

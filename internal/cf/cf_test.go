@@ -1,0 +1,184 @@
+package cf
+
+import (
+	"testing"
+
+	"sisg/internal/corpus"
+)
+
+func sessionsOf(itemLists ...[]int32) []corpus.Session {
+	out := make([]corpus.Session, len(itemLists))
+	for i, items := range itemLists {
+		out[i] = corpus.Session{Items: items}
+	}
+	return out
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, 0, Defaults()); err == nil {
+		t.Error("numItems=0 accepted")
+	}
+	o := Defaults()
+	o.Window = 0
+	if _, err := Train(nil, 5, o); err == nil {
+		t.Error("Window=0 accepted")
+	}
+	o = Defaults()
+	o.TopK = 0
+	if _, err := Train(nil, 5, o); err == nil {
+		t.Error("TopK=0 accepted")
+	}
+}
+
+func TestCoocCounting(t *testing.T) {
+	// Items 0 and 1 always adjacent; 2 appears alone with 0 once.
+	s := sessionsOf(
+		[]int32{0, 1},
+		[]int32{0, 1},
+		[]int32{0, 1},
+		[]int32{0, 2},
+	)
+	o := Defaults()
+	o.MinCooc = 0
+	o.Decay = 1
+	m, err := Train(s, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := m.Similar(0, 10)
+	if len(n0) != 2 {
+		t.Fatalf("item 0 has %d neighbours", len(n0))
+	}
+	if n0[0].ID != 1 {
+		t.Fatalf("top neighbour of 0 is %d", n0[0].ID)
+	}
+	// Symmetric: 1's list contains 0.
+	n1 := m.Similar(1, 10)
+	if len(n1) == 0 || n1[0].ID != 0 {
+		t.Fatalf("neighbours of 1: %v", n1)
+	}
+}
+
+func TestMinCoocFiltersSingletons(t *testing.T) {
+	s := sessionsOf(
+		[]int32{0, 1}, []int32{0, 1}, []int32{0, 1},
+		[]int32{0, 2}, // singleton pair
+	)
+	o := Defaults()
+	o.MinCooc = 2
+	o.Decay = 1
+	m, err := Train(s, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Similar(0, 10) {
+		if n.ID == 2 {
+			t.Fatal("singleton pair survived MinCooc=2")
+		}
+	}
+}
+
+func TestDistanceDecay(t *testing.T) {
+	// 1 is adjacent to 0, 2 is at distance 2; with identical frequencies,
+	// the adjacent pair must score higher.
+	s := sessionsOf(
+		[]int32{0, 1, 2},
+		[]int32{0, 1, 2},
+	)
+	o := Defaults()
+	o.MinCooc = 0
+	m, err := Train(s, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Similar(0, 2)
+	if len(n) != 2 || n[0].ID != 1 {
+		t.Fatalf("decay not applied: %v", n)
+	}
+}
+
+func TestDirectedMode(t *testing.T) {
+	s := sessionsOf([]int32{0, 1}, []int32{0, 1})
+	o := Defaults()
+	o.MinCooc = 0
+	o.Directed = true
+	m, err := Train(s, 2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Similar(0, 10)) == 0 {
+		t.Fatal("forward neighbour missing")
+	}
+	if len(m.Similar(1, 10)) != 0 {
+		t.Fatal("directed CF produced a backward neighbour")
+	}
+}
+
+func TestDampingPenalizesHotItems(t *testing.T) {
+	// Item 9 is globally hot (appears everywhere); item 1 co-occurs with 0
+	// exclusively. With damping, 1 must outrank 9 in 0's list.
+	var s []corpus.Session
+	for i := 0; i < 10; i++ {
+		s = append(s, corpus.Session{Items: []int32{0, 1, 9}})
+		s = append(s, corpus.Session{Items: []int32{2, 9}})
+		s = append(s, corpus.Session{Items: []int32{3, 9}})
+	}
+	o := Defaults()
+	o.MinCooc = 0
+	m, err := Train(s, 10, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Similar(0, 2)
+	if len(n) < 2 || n[0].ID != 1 {
+		t.Fatalf("damping failed: %v", n)
+	}
+}
+
+func TestTopKTruncation(t *testing.T) {
+	var items []int32
+	for i := int32(0); i < 30; i++ {
+		items = append(items, i)
+	}
+	s := sessionsOf(items, items, items)
+	o := Defaults()
+	o.MinCooc = 0
+	o.TopK = 5
+	m, err := Train(s, 30, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NeighbourCount(10); got > 5 {
+		t.Fatalf("TopK truncation failed: %d", got)
+	}
+	if m.MemoryEntries() > 30*5 {
+		t.Fatalf("memory entries %d", m.MemoryEntries())
+	}
+}
+
+func TestColdItemHasNoNeighbours(t *testing.T) {
+	s := sessionsOf([]int32{0, 1})
+	m, err := Train(s, 5, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NeighbourCount(4) != 0 {
+		t.Fatal("never-seen item has neighbours")
+	}
+	if got := m.Similar(4, 10); len(got) != 0 {
+		t.Fatalf("cold item returned %v", got)
+	}
+}
+
+func TestSimilarKClamps(t *testing.T) {
+	s := sessionsOf([]int32{0, 1}, []int32{0, 1}, []int32{0, 1})
+	o := Defaults()
+	o.MinCooc = 0
+	m, err := Train(s, 2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Similar(0, 100); len(got) != 1 {
+		t.Fatalf("k clamp: %v", got)
+	}
+}

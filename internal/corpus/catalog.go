@@ -1,0 +1,374 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+
+	"sisg/internal/rng"
+	"sisg/internal/vocab"
+)
+
+// NumSIColumns is the number of item side-information columns, matching
+// Table I of the paper (top_level_category, leaf_category, shop, city,
+// brand, style, material, age_gender_purchase_level).
+const NumSIColumns = 8
+
+// SIColumnNames lists the item SI columns in Table I order. These names are
+// the [FeatureName] prefix of the encoded tokens.
+var SIColumnNames = [NumSIColumns]string{
+	"top_level_category",
+	"leaf_category",
+	"shop",
+	"city",
+	"brand",
+	"style",
+	"material",
+	"age_gender_purchase_level",
+}
+
+// Item is one catalog entry. All SI values are small dense integers into
+// their respective value spaces.
+type Item struct {
+	Top      int32
+	Leaf     int32
+	Shop     int32
+	City     int32
+	Brand    int32
+	Style    int32
+	Material int32
+	AGP      int32 // age_gender_purchase_level cross feature
+	Tier     int8  // price tier in [0, NumPowers): derived from the brand
+}
+
+// SI returns the item's side-information values in SIColumnNames order.
+func (it *Item) SI() [NumSIColumns]int32 {
+	return [NumSIColumns]int32{
+		it.Top, it.Leaf, it.Shop, it.City,
+		it.Brand, it.Style, it.Material, it.AGP,
+	}
+}
+
+// Catalog is the full synthetic item universe plus the derived structures
+// the session generator walks over.
+type Catalog struct {
+	Cfg   Config
+	Items []Item
+
+	// LeafTop maps leaf category -> top category.
+	LeafTop []int32
+	// LeafNext maps (leaf, funnel group) to the accessory leaf — the
+	// strictly one-way purchase-funnel destination (phones → phone cases).
+	// The destination depends on the user's funnel group (indexed by
+	// gender), which is what makes user-type tokens genuinely predictive:
+	// different audiences buy different accessories for the same item.
+	// Funnels stay inside the leaf's top category.
+	LeafNext [][numFunnelGroups]int32
+	// LeafItems lists, per leaf, its item IDs in browse order (the order a
+	// user flipping through the category would encounter them). The order
+	// is popularity-descending: hot items first, tail items last, like a
+	// default category listing.
+	LeafItems [][]int32
+	// RankInLeaf maps item ID -> index into LeafItems[leaf].
+	RankInLeaf []int32
+	// LeafWeight is the unnormalized popularity of each leaf.
+	LeafWeight []float64
+	// ItemWeight is the unnormalized within-leaf popularity of each item.
+	ItemWeight []float64
+
+	// brandTier maps brand -> price tier.
+	brandTier []int8
+	// shopCity maps shop -> city, shopLeaf maps shop -> home leaf.
+	shopCity []int32
+	shopLeaf []int32
+
+	// leafItemSampler draws items within a leaf by popularity; the hub
+	// sampler uses a much steeper exponent and models "everyone lands on
+	// the bestseller" jumps (leaf jumps and funnel landings).
+	leafItemSampler []*rng.Zipf
+	leafHubSampler  []*rng.Zipf
+}
+
+// numFunnelGroups is the number of distinct funnel destinations per leaf;
+// a user's group is their gender index.
+const numFunnelGroups = 3
+
+// hubZipfExp is the popularity exponent for jump/funnel landings.
+const hubZipfExp = 1.6
+
+// topBlock returns the start index and length of the contiguous block of
+// leaves sharing leaf's top category.
+func topBlock(leafTop []int32, leaf int) (lo, n int) {
+	top := leafTop[leaf]
+	lo = leaf
+	for lo > 0 && leafTop[lo-1] == top {
+		lo--
+	}
+	hi := leaf
+	for hi+1 < len(leafTop) && leafTop[hi+1] == top {
+		hi++
+	}
+	return lo, hi - lo + 1
+}
+
+// BuildCatalog deterministically constructs the item universe for cfg.
+func BuildCatalog(cfg Config) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed ^ 0xca7a106)
+
+	c := &Catalog{
+		Cfg:        cfg,
+		Items:      make([]Item, cfg.NumItems),
+		LeafTop:    make([]int32, cfg.NumLeafCats),
+		LeafItems:  make([][]int32, cfg.NumLeafCats),
+		RankInLeaf: make([]int32, cfg.NumItems),
+		LeafWeight: make([]float64, cfg.NumLeafCats),
+		ItemWeight: make([]float64, cfg.NumItems),
+		brandTier:  make([]int8, cfg.NumBrands),
+		shopCity:   make([]int32, cfg.NumShops),
+		shopLeaf:   make([]int32, cfg.NumShops),
+	}
+
+	// Leaf -> top assignment: contiguous blocks, so sibling leaves share a
+	// top category (cross-leaf jumps stay inside one top).
+	for leaf := 0; leaf < cfg.NumLeafCats; leaf++ {
+		c.LeafTop[leaf] = int32(leaf * cfg.NumTopCats / cfg.NumLeafCats)
+	}
+	// Funnel targets: group g of leaf L lands on the (1+g)-th following
+	// leaf inside L's top block (cyclically), so every (leaf, group) pair
+	// has exactly one accessory leaf and funnels never leave the top.
+	c.LeafNext = make([][numFunnelGroups]int32, cfg.NumLeafCats)
+	for leaf := 0; leaf < cfg.NumLeafCats; leaf++ {
+		lo, n := topBlock(c.LeafTop, leaf)
+		for g := 0; g < numFunnelGroups; g++ {
+			c.LeafNext[leaf][g] = int32(lo + (leaf-lo+1+g)%n)
+		}
+	}
+	// Leaf popularity is itself Zipf-ish: a few huge categories, a long tail.
+	for leaf := 0; leaf < cfg.NumLeafCats; leaf++ {
+		c.LeafWeight[leaf] = 1 / math.Pow(float64(leaf+1), 0.7)
+	}
+	r.Shuffle(cfg.NumLeafCats, func(i, j int) {
+		c.LeafWeight[i], c.LeafWeight[j] = c.LeafWeight[j], c.LeafWeight[i]
+	})
+
+	// Brands get price tiers (uniformly), shops get a home leaf and a city.
+	for b := 0; b < cfg.NumBrands; b++ {
+		c.brandTier[b] = int8(r.Intn(cfg.NumPowers))
+	}
+	for s := 0; s < cfg.NumShops; s++ {
+		c.shopLeaf[s] = int32(r.Intn(cfg.NumLeafCats))
+		c.shopCity[s] = int32(r.Intn(cfg.NumCities))
+	}
+
+	// Items: assign leaves proportional to leaf weight, then fill SI.
+	leafAlias, err := newWeightSampler(c.LeafWeight)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: leaf sampler: %w", err)
+	}
+	// Brands cluster by top category: brand b mainly serves top (b mod T).
+	for i := 0; i < cfg.NumItems; i++ {
+		leaf := int32(leafAlias.sample(r))
+		top := c.LeafTop[leaf]
+		// Pick a shop that "carries" this leaf when possible (3 tries). A
+		// shop carries its home leaf plus that leaf's accessory leaves —
+		// phone shops sell cases — so shop tokens bridge funnel pairs in
+		// the SI space, as they do at Taobao.
+		shop := int32(r.Intn(cfg.NumShops))
+		for try := 0; try < 3 && !c.shopCarries(shop, leaf); try++ {
+			shop = int32(r.Intn(cfg.NumShops))
+		}
+		// Brand drawn from the top category's brand pool.
+		pool := cfg.NumBrands / cfg.NumTopCats
+		if pool < 1 {
+			pool = 1
+		}
+		brand := int32(int(top)*pool+r.Intn(pool)) % int32(cfg.NumBrands)
+		// Style and material lean toward the leaf's typical values but with
+		// enough noise that SI narrows an item to its leaf, not to a
+		// specific neighbourhood within it.
+		style := int32((int(leaf) + r.Intn(4)) % cfg.NumStyles)
+		material := int32((int(leaf)*3 + r.Intn(3)) % cfg.NumMaterials)
+		tier := c.brandTier[brand]
+		// AGP cross feature: the item's dominant audience. Correlated with
+		// the leaf and tier, but deliberately noisy (crowd estimates are).
+		ageDom := (int(leaf) + r.Intn(3)) % cfg.NumAgeBuckets
+		genderDom := (int(leaf>>1) + r.Intn(2)) % 3
+		agpTier := int(tier)
+		if r.Float64() < 0.3 {
+			agpTier = r.Intn(cfg.NumPowers)
+		}
+		agp := int32(genderDom*cfg.NumAgeBuckets*cfg.NumPowers +
+			ageDom*cfg.NumPowers + agpTier)
+		c.Items[i] = Item{
+			Top: top, Leaf: leaf, Shop: shop, City: c.shopCity[shop],
+			Brand: brand, Style: style, Material: material,
+			AGP: agp, Tier: tier,
+		}
+		c.LeafItems[leaf] = append(c.LeafItems[leaf], int32(i))
+	}
+
+	// Every leaf must own at least one item; reassign strays from the
+	// largest leaf if needed (possible for tiny configs).
+	c.fixEmptyLeaves()
+
+	// Browse order & within-leaf popularity: Zipf over the browse rank.
+	c.leafItemSampler = make([]*rng.Zipf, cfg.NumLeafCats)
+	c.leafHubSampler = make([]*rng.Zipf, cfg.NumLeafCats)
+	for leaf := range c.LeafItems {
+		items := c.LeafItems[leaf]
+		// Shuffle first so "browse order" is not correlated with item ID.
+		r.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		for rank, id := range items {
+			c.RankInLeaf[id] = int32(rank)
+			c.ItemWeight[id] = 1 / math.Pow(float64(rank+1), cfg.ZipfExp)
+		}
+		c.leafItemSampler[leaf] = rng.NewZipf(r.Split(), len(items), cfg.ZipfExp)
+		c.leafHubSampler[leaf] = rng.NewZipf(r.Split(), len(items), hubZipfExp)
+	}
+	return c, nil
+}
+
+// shopCarries reports whether the shop's assortment covers leaf: its home
+// leaf or any accessory leaf of the home leaf.
+func (c *Catalog) shopCarries(shop, leaf int32) bool {
+	home := c.shopLeaf[shop]
+	if home == leaf {
+		return true
+	}
+	for _, next := range c.LeafNext[home] {
+		if next == leaf {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Catalog) fixEmptyLeaves() {
+	largest := 0
+	for leaf := range c.LeafItems {
+		if len(c.LeafItems[leaf]) > len(c.LeafItems[largest]) {
+			largest = leaf
+		}
+	}
+	for leaf := range c.LeafItems {
+		if len(c.LeafItems[leaf]) > 0 {
+			continue
+		}
+		donor := c.LeafItems[largest]
+		id := donor[len(donor)-1]
+		c.LeafItems[largest] = donor[:len(donor)-1]
+		c.LeafItems[leaf] = []int32{id}
+		it := &c.Items[id]
+		it.Leaf = int32(leaf)
+		it.Top = c.LeafTop[leaf]
+	}
+}
+
+// NumLeaves returns the number of leaf categories.
+func (c *Catalog) NumLeaves() int { return len(c.LeafItems) }
+
+// AccessoryLeaf returns the one-way funnel destination of leaf for a user
+// of the given gender (the funnel group).
+func (c *Catalog) AccessoryLeaf(leaf int32, gender int8) int32 {
+	return c.LeafNext[leaf][int(gender)%numFunnelGroups]
+}
+
+// LeafOf returns the leaf category of item id.
+func (c *Catalog) LeafOf(id int32) int32 { return c.Items[id].Leaf }
+
+// ItemToken returns the vocabulary name for an item, "item_<id>".
+func ItemToken(id int32) string { return fmt.Sprintf("item_%d", id) }
+
+// SIToken returns the vocabulary name for column col with value v,
+// "[FeatureName]_[FeatureValue]" per Table I.
+func SIToken(col int, v int32) string {
+	return fmt.Sprintf("%s_%d", SIColumnNames[col], v)
+}
+
+// BuildDict constructs the joint vocabulary for the catalog and population:
+// item tokens first (IDs equal item IDs, which the trainers and HBGP rely
+// on), then every SI value that occurs on some item, then user types.
+// Counts are zero; callers accumulate them by scanning sessions.
+func (c *Catalog) BuildDict(pop *Population) *Dict {
+	d := vocab.NewDict(len(c.Items) + 4096)
+	for i := range c.Items {
+		d.Add(ItemToken(int32(i)), vocab.KindItem, 0)
+	}
+	siIDs := make([][NumSIColumns]vocab.ID, len(c.Items))
+	seen := make(map[string]vocab.ID, 4096)
+	for i := range c.Items {
+		si := c.Items[i].SI()
+		for col, v := range si {
+			name := SIToken(col, v)
+			id, ok := seen[name]
+			if !ok {
+				id = d.Add(name, vocab.KindSI, 0)
+				seen[name] = id
+			}
+			siIDs[i][col] = id
+		}
+	}
+	utIDs := make([]vocab.ID, len(pop.Types))
+	for t := range pop.Types {
+		utIDs[t] = d.Add(pop.Types[t].Token(), vocab.KindUserType, 0)
+	}
+	return &Dict{
+		Dict:     d,
+		ItemSI:   siIDs,
+		UserType: utIDs,
+		NumItems: len(c.Items),
+	}
+}
+
+// Dict couples the generic vocabulary with the precomputed ID tables the
+// enrichment hot path needs: per-item SI token IDs and per-user-type token
+// IDs. Item i always has vocabulary ID i.
+type Dict struct {
+	*vocab.Dict
+	ItemSI   [][NumSIColumns]vocab.ID
+	UserType []vocab.ID
+	NumItems int
+}
+
+// IsItem reports whether a vocabulary ID denotes an item.
+func (d *Dict) IsItem(id vocab.ID) bool { return int(id) < d.NumItems }
+
+// weightSampler is a minimal inverse-CDF sampler used during catalog
+// construction (cold path; the hot path uses precomputed Zipf samplers).
+type weightSampler struct{ cdf []float64 }
+
+func newWeightSampler(w []float64) (*weightSampler, error) {
+	cdf := make([]float64, len(w))
+	sum := 0.0
+	for i, v := range w {
+		if v < 0 {
+			return nil, fmt.Errorf("negative weight at %d", i)
+		}
+		sum += v
+		cdf[i] = sum
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("all weights zero")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[len(cdf)-1] = 1
+	return &weightSampler{cdf: cdf}, nil
+}
+
+func (s *weightSampler) sample(r *rng.RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

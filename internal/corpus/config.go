@@ -1,0 +1,218 @@
+// Package corpus generates the synthetic Taobao-like workload that stands in
+// for the paper's proprietary click logs (see DESIGN.md §2 for the
+// substitution argument).
+//
+// The generator plants exactly the causal structure each SISG component is
+// designed to exploit:
+//
+//   - Co-click structure: sessions are near-coherent walks inside one leaf
+//     category (the paper's own observation motivating HBGP: "most Taobao
+//     users tend to view items from one leaf category only within one
+//     browsing session").
+//   - Side-information signal: items inherit shop/brand/style/material from
+//     their leaf category, so SI tokens are predictive for sparse and
+//     cold-start items.
+//   - User-type signal: a user type (gender × age × purchase power × tags)
+//     is a coherent niche audience with its own category affinity, price
+//     tier and per-leaf style lane, so user-type tokens pool taste across
+//     sessions.
+//   - Behavioural asymmetry, two kinds: within a category items have a
+//     browse order walked forward with probability FwdBias > 0.5, and
+//     strictly one-way purchase funnels jump into gender-dependent
+//     accessory categories (phones → cases, never back). §II-C estimates
+//     ~20% of Taobao pairs have significantly skewed direction counts; the
+//     generator plants a stronger skew (see DESIGN.md §6).
+//   - Irreducible noise: uniform exploration jumps (PNoise) bound every
+//     model's achievable HitRate, keeping absolute numbers at realistic
+//     levels.
+//
+// All randomness flows from Config.Seed through internal/rng, so a given
+// configuration always produces the identical corpus.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config fully determines a synthetic dataset.
+type Config struct {
+	Name string // dataset label, e.g. "Sim25K"
+	Seed uint64
+
+	// Catalog shape.
+	NumItems     int
+	NumTopCats   int
+	NumLeafCats  int
+	NumShops     int
+	NumBrands    int
+	NumCities    int
+	NumStyles    int
+	NumMaterials int
+
+	// User population shape. User types are crosses of gender (3 values,
+	// including "null") × age bucket × purchase power × a tag combination;
+	// NumTagCombos bounds how many distinct tag sets occur.
+	NumAgeBuckets int
+	NumPowers     int
+	NumTagCombos  int
+
+	// Session shape.
+	NumSessions int
+	MinSession  int
+	MaxSession  int
+	MeanSession float64 // mean of the (clamped) geometric session length
+
+	// Behaviour knobs.
+	ZipfExp float64 // item popularity skew within a leaf (≈0.8–1.1)
+	FwdBias float64 // P(step moves forward in browse order), > 0.5 ⇒ asymmetry
+	PStep   float64 // P(small ordered step) at each transition
+	PJump   float64 // P(popularity jump within the same leaf)
+	PCross  float64 // P(jump to a sibling leaf of the same top category)
+	// PFunnel is the probability of a purchase-funnel transition: a jump to
+	// the leaf's ACCESSORY leaf (phone → phone case). Funnels are strictly
+	// one-way — the reverse transition never occurs — which is the dominant
+	// asymmetry in real e-commerce behaviour and the main signal the "-D"
+	// variant exploits: a symmetric window cannot distinguish the accessory
+	// leaf from the upstream leaf, a directed one can.
+	PFunnel float64
+	// PNoise is the probability of an exploration jump to a globally
+	// popularity-sampled item anywhere in the catalog. Noise jumps keep
+	// absolute HitRates at realistic (low) levels: they are irreducibly
+	// unpredictable and plant spurious long-range co-occurrences, exactly
+	// as real browsing does.
+	PNoise    float64
+	TierMatch float64 // P(accepting an item whose price tier mismatches the user's power)
+}
+
+// Sim25K returns the offline-experiment configuration: the laptop-scale
+// analogue of the paper's Taobao25M (Table II, column 1). Roughly 1:1000
+// scale in items; everything downstream of it (Table III, Figures 4–6)
+// uses this dataset.
+func Sim25K() Config {
+	return Config{
+		Name:          "Sim25K",
+		Seed:          25,
+		NumItems:      25_000,
+		NumTopCats:    20,
+		NumLeafCats:   300,
+		NumShops:      2_000,
+		NumBrands:     600,
+		NumCities:     50,
+		NumStyles:     12,
+		NumMaterials:  10,
+		NumAgeBuckets: 7,
+		NumPowers:     3,
+		NumTagCombos:  4,
+		NumSessions:   24_000,
+		MinSession:    2,
+		MaxSession:    20,
+		MeanSession:   8,
+		ZipfExp:       0.9,
+		FwdBias:       0.92,
+		PStep:         0.42,
+		PJump:         0.12,
+		PCross:        0.08,
+		PFunnel:       0.20,
+		PNoise:        0.18,
+		TierMatch:     0.15,
+	}
+}
+
+// Sim100K is the online/scalability analogue of Taobao100M (Table II,
+// column 2) used for the Figure 7 experiments.
+func Sim100K() Config {
+	c := Sim25K()
+	c.Name = "Sim100K"
+	c.Seed = 100
+	c.NumItems = 100_000
+	c.NumLeafCats = 500
+	c.NumShops = 8_000
+	c.NumBrands = 1_200
+	c.NumTagCombos = 6
+	c.NumSessions = 90_000
+	return c
+}
+
+// Sim800K is the full-data analogue of Taobao800M (Table II, column 3);
+// used only for dataset statistics and the corpus-size sweep.
+func Sim800K() Config {
+	c := Sim25K()
+	c.Name = "Sim800K"
+	c.Seed = 800
+	c.NumItems = 800_000
+	c.NumLeafCats = 2_000
+	c.NumShops = 40_000
+	c.NumBrands = 4_000
+	c.NumTagCombos = 8
+	c.NumSessions = 700_000
+	return c
+}
+
+// Tiny returns a miniature configuration for unit tests: a few hundred
+// items, a few thousand sessions, finishing in milliseconds.
+func Tiny() Config {
+	return Config{
+		Name:          "Tiny",
+		Seed:          7,
+		NumItems:      400,
+		NumTopCats:    4,
+		NumLeafCats:   16,
+		NumShops:      40,
+		NumBrands:     24,
+		NumCities:     8,
+		NumStyles:     5,
+		NumMaterials:  4,
+		NumAgeBuckets: 7,
+		NumPowers:     3,
+		NumTagCombos:  3,
+		NumSessions:   4_000,
+		MinSession:    2,
+		MaxSession:    12,
+		MeanSession:   6,
+		ZipfExp:       0.9,
+		FwdBias:       0.75,
+		PStep:         0.42,
+		PJump:         0.12,
+		PCross:        0.08,
+		PFunnel:       0.20,
+		PNoise:        0.18,
+		TierMatch:     0.25,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumItems <= 0:
+		return errors.New("corpus: NumItems must be positive")
+	case c.NumLeafCats <= 0 || c.NumLeafCats > c.NumItems:
+		return fmt.Errorf("corpus: NumLeafCats %d out of range (1..NumItems)", c.NumLeafCats)
+	case c.NumTopCats <= 0 || c.NumTopCats > c.NumLeafCats:
+		return fmt.Errorf("corpus: NumTopCats %d out of range (1..NumLeafCats)", c.NumTopCats)
+	case c.NumShops <= 0 || c.NumBrands <= 0 || c.NumCities <= 0 ||
+		c.NumStyles <= 0 || c.NumMaterials <= 0:
+		return errors.New("corpus: catalog cardinalities must be positive")
+	case c.NumAgeBuckets <= 0 || c.NumPowers <= 0 || c.NumTagCombos <= 0:
+		return errors.New("corpus: user-population cardinalities must be positive")
+	case c.NumSessions <= 0:
+		return errors.New("corpus: NumSessions must be positive")
+	case c.MinSession < 2:
+		return errors.New("corpus: MinSession must be at least 2 (need a next item)")
+	case c.MaxSession < c.MinSession:
+		return errors.New("corpus: MaxSession < MinSession")
+	case c.MeanSession < float64(c.MinSession):
+		return errors.New("corpus: MeanSession below MinSession")
+	case c.FwdBias < 0 || c.FwdBias > 1:
+		return errors.New("corpus: FwdBias out of [0,1]")
+	case c.PStep < 0 || c.PJump < 0 || c.PCross < 0 || c.PFunnel < 0 || c.PNoise < 0:
+		return errors.New("corpus: transition probabilities must be non-negative")
+	case c.PStep+c.PJump+c.PCross+c.PFunnel+c.PNoise <= 0:
+		return errors.New("corpus: transition probabilities sum to zero")
+	case c.TierMatch < 0 || c.TierMatch > 1:
+		return errors.New("corpus: TierMatch out of [0,1]")
+	case c.ZipfExp <= 0:
+		return errors.New("corpus: ZipfExp must be positive")
+	}
+	return nil
+}

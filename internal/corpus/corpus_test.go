@@ -1,0 +1,378 @@
+package corpus
+
+import (
+	"testing"
+
+	"sisg/internal/vocab"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NumItems = 0 },
+		func(c *Config) { c.NumLeafCats = 0 },
+		func(c *Config) { c.NumLeafCats = c.NumItems + 1 },
+		func(c *Config) { c.NumTopCats = 0 },
+		func(c *Config) { c.NumTopCats = c.NumLeafCats + 1 },
+		func(c *Config) { c.NumShops = 0 },
+		func(c *Config) { c.NumBrands = 0 },
+		func(c *Config) { c.NumAgeBuckets = 0 },
+		func(c *Config) { c.NumSessions = 0 },
+		func(c *Config) { c.MinSession = 1 },
+		func(c *Config) { c.MaxSession = c.MinSession - 1 },
+		func(c *Config) { c.MeanSession = 0 },
+		func(c *Config) { c.FwdBias = 1.5 },
+		func(c *Config) { c.PStep, c.PJump, c.PCross, c.PFunnel, c.PNoise = 0, 0, 0, 0, 0 },
+		func(c *Config) { c.PJump = -1 },
+		func(c *Config) { c.TierMatch = 2 },
+		func(c *Config) { c.ZipfExp = 0 },
+	}
+	for i, mutate := range bad {
+		c := Tiny()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	c := Tiny()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Tiny config invalid: %v", err)
+	}
+	for _, cfg := range []Config{Sim25K(), Sim100K(), Sim800K()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestCatalogInvariants(t *testing.T) {
+	cat, err := BuildCatalog(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cat.Cfg
+
+	// Every leaf owns at least one item; ranks index correctly.
+	for leaf, items := range cat.LeafItems {
+		if len(items) == 0 {
+			t.Fatalf("leaf %d empty", leaf)
+		}
+		for rank, id := range items {
+			if cat.Items[id].Leaf != int32(leaf) {
+				t.Fatalf("item %d in leaf %d has Leaf=%d", id, leaf, cat.Items[id].Leaf)
+			}
+			if int(cat.RankInLeaf[id]) != rank {
+				t.Fatalf("item %d rank mismatch", id)
+			}
+		}
+	}
+	// SI values in range; tops consistent; funnels stay inside the top.
+	for i := range cat.Items {
+		it := &cat.Items[i]
+		if it.Leaf < 0 || int(it.Leaf) >= cfg.NumLeafCats {
+			t.Fatalf("item %d leaf out of range", i)
+		}
+		if it.Top != cat.LeafTop[it.Leaf] {
+			t.Fatalf("item %d top mismatch", i)
+		}
+		if it.Shop < 0 || int(it.Shop) >= cfg.NumShops ||
+			it.Brand < 0 || int(it.Brand) >= cfg.NumBrands ||
+			it.City < 0 || int(it.City) >= cfg.NumCities ||
+			it.Style < 0 || int(it.Style) >= cfg.NumStyles ||
+			it.Material < 0 || int(it.Material) >= cfg.NumMaterials {
+			t.Fatalf("item %d SI out of range: %+v", i, it)
+		}
+		if it.Tier < 0 || int(it.Tier) >= cfg.NumPowers {
+			t.Fatalf("item %d tier out of range", i)
+		}
+	}
+	for leaf := range cat.LeafNext {
+		for g := range cat.LeafNext[leaf] {
+			next := cat.LeafNext[leaf][g]
+			if cat.LeafTop[next] != cat.LeafTop[leaf] {
+				t.Fatalf("funnel leaves top: %d -> %d", leaf, next)
+			}
+		}
+	}
+	// AccessoryLeaf agrees with LeafNext.
+	if cat.AccessoryLeaf(0, 1) != cat.LeafNext[0][1] {
+		t.Fatal("AccessoryLeaf mismatch")
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	a, err := BuildCatalog(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCatalog(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatalf("catalog not deterministic at item %d", i)
+		}
+	}
+}
+
+func TestGenerateSessions(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := ds.Cfg
+	if len(ds.Sessions) != cfg.NumSessions {
+		t.Fatalf("got %d sessions", len(ds.Sessions))
+	}
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		if len(s.Items) < cfg.MinSession || len(s.Items) > cfg.MaxSession {
+			t.Fatalf("session %d length %d out of [%d,%d]", i, len(s.Items), cfg.MinSession, cfg.MaxSession)
+		}
+		if s.UserType < 0 || int(s.UserType) >= len(ds.Pop.Types) {
+			t.Fatalf("session %d bad user type", i)
+		}
+		for _, it := range s.Items {
+			if it < 0 || int(it) >= cfg.NumItems {
+				t.Fatalf("session %d bad item %d", i, it)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := tinyDataset(t)
+	b := tinyDataset(t)
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatal("session counts differ")
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i].UserType != b.Sessions[i].UserType {
+			t.Fatalf("session %d user differs", i)
+		}
+		for j := range a.Sessions[i].Items {
+			if a.Sessions[i].Items[j] != b.Sessions[i].Items[j] {
+				t.Fatalf("session %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDictConstruction(t *testing.T) {
+	ds := tinyDataset(t)
+	d := ds.Dict
+	// Item i must have vocabulary ID i (HBGP and the trainers rely on it).
+	for i := 0; i < d.NumItems; i++ {
+		id, ok := d.Lookup(ItemToken(int32(i)))
+		if !ok || id != int32(i) {
+			t.Fatalf("item %d has vocab ID %d", i, id)
+		}
+		if !d.IsItem(id) {
+			t.Fatalf("IsItem(%d) false", id)
+		}
+	}
+	// SI IDs resolve to the right tokens.
+	for i := 0; i < 10; i++ {
+		si := ds.Catalog.Items[i].SI()
+		for col, v := range si {
+			want := SIToken(col, v)
+			if d.Name(d.ItemSI[i][col]) != want {
+				t.Fatalf("item %d col %d: %s != %s", i, col, d.Name(d.ItemSI[i][col]), want)
+			}
+		}
+	}
+	// Counts: every session item contributes 1 item count + 8 SI counts.
+	var wantItems uint64
+	for i := range ds.Sessions {
+		wantItems += uint64(len(ds.Sessions[i].Items))
+	}
+	if got := d.TotalCount(vocab.KindItem); got != wantItems {
+		t.Fatalf("item token total = %d, want %d", got, wantItems)
+	}
+	if got := d.TotalCount(vocab.KindSI); got != wantItems*NumSIColumns {
+		t.Fatalf("SI token total = %d, want %d", got, wantItems*NumSIColumns)
+	}
+	if got := d.TotalCount(vocab.KindUserType); got != uint64(len(ds.Sessions)) {
+		t.Fatalf("user-type total = %d, want %d", got, len(ds.Sessions))
+	}
+}
+
+func TestSplitNextItem(t *testing.T) {
+	ds := tinyDataset(t)
+	sp := ds.SplitNextItem(0.1)
+	if len(sp.Train) != len(ds.Sessions) {
+		t.Fatalf("train sessions %d != %d", len(sp.Train), len(ds.Sessions))
+	}
+	if len(sp.Test) == 0 {
+		t.Fatal("no test cases")
+	}
+	maxTest := int(0.1*float64(len(ds.Sessions))) + 1
+	if len(sp.Test) > maxTest {
+		t.Fatalf("too many test cases: %d > %d", len(sp.Test), maxTest)
+	}
+	for _, tc := range sp.Test {
+		if tc.Query == tc.Target && len(tc.Prefix) == 0 {
+			continue // legal but uninteresting
+		}
+		if tc.Query < 0 || tc.Target < 0 {
+			t.Fatal("bad test case ids")
+		}
+	}
+}
+
+func TestMeasureAsymmetry(t *testing.T) {
+	ds := tinyDataset(t)
+	st := ds.MeasureAsymmetry()
+	if st.Pairs == 0 {
+		t.Fatal("no pairs measured")
+	}
+	if st.Fraction <= 0.05 {
+		t.Fatalf("asymmetry fraction %.3f too low — forward bias not planted?", st.Fraction)
+	}
+	if st.Significant > st.Pairs {
+		t.Fatal("significant > pairs")
+	}
+}
+
+func TestHoldoutAndFilter(t *testing.T) {
+	ds := tinyDataset(t)
+	cold := ds.HoldoutItems(0.2)
+	if len(cold) == 0 {
+		t.Fatal("no holdout items")
+	}
+	frac := float64(len(cold)) / float64(len(ds.Catalog.Items))
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("holdout fraction %.2f far from 0.2", frac)
+	}
+	isCold := map[int32]bool{}
+	for _, id := range cold {
+		isCold[id] = true
+	}
+	filtered := FilterSessions(ds.Sessions, cold)
+	if len(filtered) == 0 || len(filtered) > len(ds.Sessions) {
+		t.Fatalf("filtered count %d", len(filtered))
+	}
+	for i := range filtered {
+		if len(filtered[i].Items) < 2 {
+			t.Fatalf("filtered session %d too short", i)
+		}
+		for _, it := range filtered[i].Items {
+			if isCold[it] {
+				t.Fatalf("cold item %d survived filtering", it)
+			}
+		}
+	}
+	// Determinism of the holdout.
+	again := ds.HoldoutItems(0.2)
+	if len(again) != len(cold) {
+		t.Fatal("holdout not deterministic")
+	}
+}
+
+func TestComputeStatsPairCount(t *testing.T) {
+	// pairCount must equal brute-force enumeration.
+	brute := func(l, m int) uint64 {
+		var n uint64
+		for i := 0; i < l; i++ {
+			for j := -m; j <= m; j++ {
+				if j == 0 {
+					continue
+				}
+				if k := i + j; k >= 0 && k < l {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for _, l := range []int{1, 2, 5, 20} {
+		for _, m := range []int{1, 3, 10} {
+			if got, want := pairCount(l, m), brute(l, m); got != want {
+				t.Fatalf("pairCount(%d,%d) = %d, want %d", l, m, got, want)
+			}
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	ds := tinyDataset(t)
+	st := ds.ComputeStats(10, 20)
+	if st.NumItems != ds.Cfg.NumItems || st.NumSIColumns != NumSIColumns {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.TrainingPairs != st.PositivePairs*21 {
+		t.Fatal("training pairs != positive × 21")
+	}
+	if st.Tokens != ds.Dict.TotalTokens() {
+		t.Fatal("tokens mismatch")
+	}
+	if st.AvgSessionLen < float64(ds.Cfg.MinSession) || st.AvgSessionLen > float64(ds.Cfg.MaxSession) {
+		t.Fatalf("avg session length %v", st.AvgSessionLen)
+	}
+}
+
+func TestUserTypeTokens(t *testing.T) {
+	u := UserType{Gender: 0, Age: 1, Power: 2, Tags: 0b101}
+	tok := u.Token()
+	if tok != "ut_F_21-25_p2_married_hascar" {
+		t.Fatalf("token = %q", tok)
+	}
+}
+
+func TestTypesMatching(t *testing.T) {
+	ds := tinyDataset(t)
+	all := ds.Pop.TypesMatching(-1, -1, -1)
+	if len(all) != len(ds.Pop.Types) {
+		t.Fatal("unconstrained match incomplete")
+	}
+	f := ds.Pop.TypesMatching(0, -1, -1)
+	for _, i := range f {
+		if ds.Pop.Types[i].Gender != 0 {
+			t.Fatal("gender filter broken")
+		}
+	}
+	narrow := ds.Pop.TypesMatching(0, 2, 1)
+	for _, i := range narrow {
+		ut := ds.Pop.Types[i]
+		if ut.Gender != 0 || ut.Age != 2 || ut.Power != 1 {
+			t.Fatal("narrow filter broken")
+		}
+	}
+}
+
+func TestStyleOffsetStable(t *testing.T) {
+	ds := tinyDataset(t)
+	for i := range ds.Pop.Types {
+		a := ds.Pop.StyleOffset(int32(i))
+		b := ds.Pop.StyleOffset(int32(i))
+		if a != b || a < 0 || a >= 4 {
+			t.Fatalf("StyleOffset(%d) = %d,%d", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorCloneIndependent(t *testing.T) {
+	ds := tinyDataset(t)
+	g := NewGenerator(ds.Catalog, ds.Pop)
+	c := g.Clone()
+	a := g.Next()
+	b := c.Next()
+	same := a.UserType == b.UserType && len(a.Items) == len(b.Items)
+	if same {
+		for i := range a.Items {
+			if a.Items[i] != b.Items[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("clone produced identical first session — streams not split")
+	}
+}

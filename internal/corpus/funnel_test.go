@@ -1,0 +1,84 @@
+package corpus
+
+import "testing"
+
+// TestFunnelsAreOneWay verifies the planted purchase-funnel asymmetry: for
+// each (leaf, accessory-leaf) pair, transitions overwhelmingly flow in the
+// funnel direction. The reverse direction can only arise from sibling or
+// noise jumps, so it must be a small fraction.
+func TestFunnelsAreOneWay(t *testing.T) {
+	cfg := Tiny()
+	cfg.NumSessions = 20000
+	// Tiny's default 4-leaf top blocks make the 3-group accessory relation
+	// fully mutual (every other leaf of the block is someone's accessory);
+	// use production-like 8-leaf blocks, where a→b funnel implies b→a is
+	// not one.
+	cfg.NumLeafCats = 32
+	cfg.NumItems = 800
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := ds.Catalog
+
+	// Is dst an accessory leaf of src for any funnel group?
+	isFunnel := func(src, dst int32) bool {
+		for g := range cat.LeafNext[src] {
+			if cat.LeafNext[src][g] == dst {
+				return true
+			}
+		}
+		return false
+	}
+
+	var fwd, rev int
+	for i := range ds.Sessions {
+		items := ds.Sessions[i].Items
+		for j := 0; j+1 < len(items); j++ {
+			a := cat.LeafOf(items[j])
+			b := cat.LeafOf(items[j+1])
+			if a == b {
+				continue
+			}
+			if isFunnel(a, b) {
+				fwd++
+			}
+			if isFunnel(b, a) {
+				rev++
+			}
+		}
+	}
+	if fwd == 0 {
+		t.Fatal("no funnel transitions generated")
+	}
+	// The deliberate funnel flow must strongly dominate the reverse
+	if float64(fwd) < 3*float64(rev) {
+		t.Fatalf("funnels not directional enough: fwd=%d rev=%d", fwd, rev)
+	}
+}
+
+// TestTierLanes verifies taste coherence: consecutive lane steps mostly
+// stay within the user's price tier.
+func TestTierLanes(t *testing.T) {
+	cfg := Tiny()
+	cfg.NumSessions = 10000
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, total := 0, 0
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		power := ds.Pop.Types[s.UserType].Power
+		for _, it := range s.Items {
+			total++
+			if ds.Catalog.Items[it].Tier == power {
+				matched++
+			}
+		}
+	}
+	// Uniform tiers would give ~1/3; the taste gates must push well above.
+	if frac := float64(matched) / float64(total); frac < 0.45 {
+		t.Fatalf("tier coherence %.2f too low — taste gating broken", frac)
+	}
+}

@@ -1,0 +1,364 @@
+package corpus
+
+import (
+	"math"
+
+	"sisg/internal/rng"
+)
+
+// Session is one user browsing session: the user's type and the ordered
+// item click sequence (Figure 1(a) of the paper).
+type Session struct {
+	UserType int32
+	Items    []int32
+}
+
+// Generator produces sessions from a catalog and population. It is not safe
+// for concurrent use; derive one per goroutine with Clone.
+type Generator struct {
+	cat *Catalog
+	pop *Population
+	r   *rng.RNG
+	// geometric parameter chosen so the clamped length has roughly
+	// MeanSession expectation.
+	pLen float64
+}
+
+// NewGenerator returns a session generator seeded from the config seed.
+func NewGenerator(cat *Catalog, pop *Population) *Generator {
+	mean := cat.Cfg.MeanSession - float64(cat.Cfg.MinSession)
+	if mean < 0.5 {
+		mean = 0.5
+	}
+	return &Generator{
+		cat:  cat,
+		pop:  pop,
+		r:    rng.New(cat.Cfg.Seed ^ 0x5e5510),
+		pLen: 1 / (1 + mean),
+	}
+}
+
+// Clone derives an independent generator stream, for parallel generation.
+func (g *Generator) Clone() *Generator {
+	c := *g
+	c.r = g.r.Split()
+	return &c
+}
+
+// Next generates one session.
+func (g *Generator) Next() Session {
+	cfg := &g.cat.Cfg
+	r := g.r
+	ut := g.pop.SampleType(r)
+	power := g.pop.Types[ut].Power
+	styleOff := g.pop.StyleOffset(ut)
+
+	length := cfg.MinSession + r.Geometric(g.pLen)
+	if length > cfg.MaxSession {
+		length = cfg.MaxSession
+	}
+
+	leaf := g.pop.SampleLeaf(ut, r)
+	items := make([]int32, 0, length)
+	cur := g.sampleTierItem(leaf, power, styleOff)
+	items = append(items, cur)
+
+	group := int(g.pop.Types[ut].Gender) % numFunnelGroups
+	pTotal := cfg.PStep + cfg.PJump + cfg.PCross + cfg.PFunnel + cfg.PNoise
+	for len(items) < length {
+		u := r.Float64() * pTotal
+		switch {
+		case u < cfg.PStep:
+			cur = g.step(cur, power, styleOff)
+		case u < cfg.PStep+cfg.PJump:
+			// Jumps land on the leaf's bestsellers.
+			cur = g.sampleHubItem(g.cat.LeafOf(cur), power)
+		case u < cfg.PStep+cfg.PJump+cfg.PFunnel:
+			// One-way purchase funnel into the audience's accessory leaf,
+			// landing on its bestsellers; never the reverse direction.
+			leaf = g.cat.LeafNext[g.cat.LeafOf(cur)][group]
+			cur = g.sampleHubItem(leaf, power)
+		case u < cfg.PStep+cfg.PJump+cfg.PFunnel+cfg.PCross:
+			leaf = g.siblingLeaf(g.cat.LeafOf(cur))
+			cur = g.sampleTierItem(leaf, power, styleOff)
+		default:
+			// Exploration noise: a uniform random item anywhere in the
+			// catalog. Uniformity makes these transitions irreducibly
+			// unpredictable for every model — a shared noise floor — rather
+			// than a popularity shortcut plain co-occurrence could exploit.
+			cur = int32(r.Intn(len(g.cat.Items)))
+		}
+		items = append(items, cur)
+	}
+	return Session{UserType: ut, Items: items}
+}
+
+// step moves along the browse order of the current item's leaf. With
+// probability FwdBias the step moves forward (toward higher ranks) by
+// 1 + Geometric positions, then scans onward in the same direction for the
+// first item matching the user's taste (price tier and preferred style
+// lane, up to tierScan positions, relaxing to tier-only). The scan keeps
+// the walk simultaneously *directional* (the planted asymmetry the "-D"
+// variant exploits) and *taste-coherent* (the cross-session signal the
+// user-type token carries): two users with different purchasing power or
+// style taste walk different "lanes" of the same category, in the same
+// forward order.
+func (g *Generator) step(cur int32, power int8, styleOff int) int32 {
+	const tierScan = 8
+	leaf := g.cat.LeafOf(cur)
+	items := g.cat.LeafItems[leaf]
+	n := len(items)
+	if n == 1 {
+		return cur
+	}
+	rank := int(g.cat.RankInLeaf[cur])
+	delta := 1 + g.r.Geometric(0.35)
+	dir := 1
+	if g.r.Float64() >= g.cat.Cfg.FwdBias {
+		dir = -1
+	}
+	next := clampRank(rank+dir*delta, n)
+	if next == rank {
+		next = clampRank(rank+dir, n)
+	}
+	// A mismatched taste is accepted outright with probability TierMatch;
+	// otherwise scan onward, first for a full taste match, then tier-only.
+	if g.tasteMatch(items[next], leaf, power, styleOff) || g.r.Float64() < g.cat.Cfg.TierMatch {
+		return items[next]
+	}
+	for s := 1; s <= tierScan; s++ {
+		cand := clampRank(next+dir*s, n)
+		if g.tasteMatch(items[cand], leaf, power, styleOff) {
+			return items[cand]
+		}
+	}
+	for s := 1; s <= tierScan; s++ {
+		cand := clampRank(next+dir*s, n)
+		if g.cat.Items[items[cand]].Tier == power {
+			return items[cand]
+		}
+	}
+	return items[next]
+}
+
+// tasteMatch reports whether an item fits the user's price tier and
+// preferred style lane of the given leaf.
+func (g *Generator) tasteMatch(item, leaf int32, power int8, styleOff int) bool {
+	it := &g.cat.Items[item]
+	if it.Tier != power {
+		return false
+	}
+	want := int32((int(leaf) + styleOff) % g.cat.Cfg.NumStyles)
+	return it.Style == want
+}
+
+func clampRank(r, n int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= n {
+		return n - 1
+	}
+	return r
+}
+
+// sampleTierItem draws an item from the leaf by popularity, preferring the
+// user's full taste (tier + style lane, 4 attempts), then the tier alone
+// (2 attempts), before accepting anything.
+func (g *Generator) sampleTierItem(leaf int32, power int8, styleOff int) int32 {
+	items := g.cat.LeafItems[leaf]
+	s := g.cat.leafItemSampler[leaf]
+	var cand int32
+	for try := 0; try < 4; try++ {
+		cand = items[s.Sample()]
+		if g.tasteMatch(cand, leaf, power, styleOff) || g.r.Float64() < g.cat.Cfg.TierMatch {
+			return cand
+		}
+	}
+	for try := 0; try < 2; try++ {
+		cand = items[s.Sample()]
+		if g.cat.Items[cand].Tier == power {
+			return cand
+		}
+	}
+	return cand
+}
+
+// sampleHubItem draws a bestseller from the leaf (steep Zipf), with a mild
+// tier preference (2 attempts): hub landings concentrate regardless of who
+// the user is.
+func (g *Generator) sampleHubItem(leaf int32, power int8) int32 {
+	items := g.cat.LeafItems[leaf]
+	s := g.cat.leafHubSampler[leaf]
+	var cand int32
+	for try := 0; try < 2; try++ {
+		cand = items[s.Sample()]
+		if g.cat.Items[cand].Tier == power {
+			return cand
+		}
+	}
+	return cand
+}
+
+// siblingLeaf returns a random other leaf under the same top category
+// (or the same leaf if the top has only one).
+func (g *Generator) siblingLeaf(leaf int32) int32 {
+	top := g.cat.LeafTop[leaf]
+	// Leaves of a top form a contiguous block (see BuildCatalog).
+	lo, hi := 0, len(g.cat.LeafTop)
+	for i, t := range g.cat.LeafTop {
+		if t == top {
+			lo = i
+			break
+		}
+	}
+	for i := lo; i < len(g.cat.LeafTop); i++ {
+		if g.cat.LeafTop[i] != top {
+			hi = i
+			break
+		}
+	}
+	if hi-lo <= 1 {
+		return leaf
+	}
+	for {
+		cand := int32(lo + g.r.Intn(hi-lo))
+		if cand != leaf || hi-lo == 1 {
+			return cand
+		}
+	}
+}
+
+// Dataset bundles everything an experiment needs: catalog, population,
+// vocabulary and the generated sessions, split for the next-item protocol.
+type Dataset struct {
+	Cfg      Config
+	Catalog  *Catalog
+	Pop      *Population
+	Dict     *Dict
+	Sessions []Session
+}
+
+// Generate builds the full dataset for cfg: catalog, population, NumSessions
+// sessions, and a vocabulary whose counts reflect the *enriched* sequences
+// (items + SI + user types), matching how the paper counts "tokens".
+func Generate(cfg Config) (*Dataset, error) {
+	cat, err := BuildCatalog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := BuildPopulation(cfg, cat)
+	if err != nil {
+		return nil, err
+	}
+	dict := cat.BuildDict(pop)
+	gen := NewGenerator(cat, pop)
+	sessions := make([]Session, cfg.NumSessions)
+	for i := range sessions {
+		sessions[i] = gen.Next()
+	}
+	ds := &Dataset{Cfg: cfg, Catalog: cat, Pop: pop, Dict: dict, Sessions: sessions}
+	ds.recount()
+	return ds, nil
+}
+
+// recount populates vocabulary frequencies from the enriched sessions.
+func (ds *Dataset) recount() {
+	d := ds.Dict
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		for _, it := range s.Items {
+			d.AddCount(it, 1)
+			for _, si := range d.ItemSI[it] {
+				d.AddCount(si, 1)
+			}
+		}
+		d.AddCount(d.UserType[s.UserType], 1)
+	}
+}
+
+// HoldoutItems deterministically selects a fraction of the catalog as
+// "cold" items — products launched after the training snapshot. They still
+// exist in the catalog (with full side information) but carry no behaviour
+// history, which is the cold-start regime of §IV-C2 and the coverage gap
+// that separates SISG from CF online.
+func (ds *Dataset) HoldoutItems(frac float64) []int32 {
+	r := rng.New(ds.Cfg.Seed ^ 0xc01d)
+	var out []int32
+	for i := 0; i < len(ds.Catalog.Items); i++ {
+		if r.Float64() < frac {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// FilterSessions removes all occurrences of the given items from the
+// sessions (splicing them out of the click streams) and drops sessions that
+// shrink below two clicks. The returned sessions share no item slices with
+// the input.
+func FilterSessions(sessions []Session, holdout []int32) []Session {
+	cold := make(map[int32]bool, len(holdout))
+	for _, id := range holdout {
+		cold[id] = true
+	}
+	out := make([]Session, 0, len(sessions))
+	for i := range sessions {
+		s := &sessions[i]
+		items := make([]int32, 0, len(s.Items))
+		for _, it := range s.Items {
+			if !cold[it] {
+				items = append(items, it)
+			}
+		}
+		if len(items) >= 2 {
+			out = append(out, Session{UserType: s.UserType, Items: items})
+		}
+	}
+	return out
+}
+
+// Split partitions sessions into train and test for the next-item protocol
+// (§IV-A): the train split keeps v1..v_{p-1}; the held-out target is v_p.
+// Sessions shorter than 3 go entirely to training (no room for a target).
+// testFrac is the fraction of eligible sessions held out.
+type Split struct {
+	Train []Session
+	// Test pairs: Query is v_{p-1}, Target is v_p, User is the session's
+	// user type.
+	Test []TestCase
+}
+
+// TestCase is one next-item evaluation query.
+type TestCase struct {
+	User   int32
+	Prefix []int32 // v1..v_{p-2} (may be empty)
+	Query  int32   // v_{p-1}
+	Target int32   // v_p
+}
+
+// SplitNextItem builds the train/test split deterministically from the
+// dataset seed. Held-out sessions contribute v1..v_{p-1} to training (as in
+// the paper: "we train SISG on (v1,...,v_{p-1}) and report the performance
+// on v_p").
+func (ds *Dataset) SplitNextItem(testFrac float64) *Split {
+	r := rng.New(ds.Cfg.Seed ^ 0x7e57)
+	sp := &Split{}
+	maxTest := int(math.Ceil(testFrac * float64(len(ds.Sessions))))
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		if len(s.Items) >= 3 && len(sp.Test) < maxTest && r.Float64() < testFrac {
+			p := len(s.Items)
+			sp.Train = append(sp.Train, Session{UserType: s.UserType, Items: s.Items[:p-1]})
+			sp.Test = append(sp.Test, TestCase{
+				User:   s.UserType,
+				Prefix: s.Items[:p-2],
+				Query:  s.Items[p-2],
+				Target: s.Items[p-1],
+			})
+		} else {
+			sp.Train = append(sp.Train, *s)
+		}
+	}
+	return sp
+}

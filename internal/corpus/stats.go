@@ -1,0 +1,154 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Stats summarizes a dataset in the shape of the paper's Table II.
+type Stats struct {
+	Name          string
+	NumItems      int
+	NumSIColumns  int
+	NumUserTypes  int
+	NumSessions   int
+	Tokens        uint64 // items + SI instances + user types across all enriched sequences
+	PositivePairs uint64 // skip-gram pairs at the given window over enriched sequences
+	TrainingPairs uint64 // positive pairs × (1 + negatives)
+	AvgSessionLen float64
+}
+
+// ComputeStats derives Table II-style statistics. window is the skip-gram
+// window in *enriched-token* units; negatives is the negative:positive
+// ratio (20 in production, per §II-A).
+//
+// Positive-pair counting matches symmetric sampling: a sequence of length L
+// with window m yields sum_i min(m, L-1-i) + min(m, i) ordered pairs; the
+// directed variant would yield half, but the paper's Table II predates the
+// -D variant so we report the symmetric count.
+func (ds *Dataset) ComputeStats(window, negatives int) Stats {
+	items, _, userTypes := ds.Dict.CountByKind()
+	st := Stats{
+		Name:         ds.Cfg.Name,
+		NumItems:     items,
+		NumSIColumns: NumSIColumns,
+		NumUserTypes: userTypes,
+		NumSessions:  len(ds.Sessions),
+		Tokens:       ds.Dict.TotalTokens(),
+	}
+	var itemTokens uint64
+	for i := range ds.Sessions {
+		l := len(ds.Sessions[i].Items)
+		itemTokens += uint64(l)
+		// Enriched length: each item contributes 1 + NumSIColumns tokens,
+		// plus one trailing user-type token (Eq. 4).
+		el := l*(1+NumSIColumns) + 1
+		st.PositivePairs += pairCount(el, window)
+	}
+	st.TrainingPairs = st.PositivePairs * uint64(1+negatives)
+	if len(ds.Sessions) > 0 {
+		st.AvgSessionLen = float64(itemTokens) / float64(len(ds.Sessions))
+	}
+	return st
+}
+
+// pairCount returns the number of (target, context) pairs a sequence of
+// length l produces under a symmetric window of size m.
+func pairCount(l, m int) uint64 {
+	var n uint64
+	for i := 0; i < l; i++ {
+		right := l - 1 - i
+		if right > m {
+			right = m
+		}
+		left := i
+		if left > m {
+			left = m
+		}
+		n += uint64(left + right)
+	}
+	return n
+}
+
+// WriteTable renders a slice of Stats as a Table II-style text table.
+func WriteTable(w io.Writer, stats []Stats) {
+	fmt.Fprintf(w, "%-16s", "")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%16s", s.Name)
+	}
+	fmt.Fprintln(w)
+	row := func(label string, f func(Stats) string) {
+		fmt.Fprintf(w, "%-16s", label)
+		for _, s := range stats {
+			fmt.Fprintf(w, "%16s", f(s))
+		}
+		fmt.Fprintln(w)
+	}
+	row("#Items", func(s Stats) string { return fmt.Sprintf("%d", s.NumItems) })
+	row("#SI", func(s Stats) string { return fmt.Sprintf("%d", s.NumSIColumns) })
+	row("#User types", func(s Stats) string { return fmt.Sprintf("%d", s.NumUserTypes) })
+	row("#Sessions", func(s Stats) string { return fmt.Sprintf("%d", s.NumSessions) })
+	row("#Tokens", func(s Stats) string { return fmt.Sprintf("%.2e", float64(s.Tokens)) })
+	row("#Positive pairs", func(s Stats) string { return fmt.Sprintf("%.2e", float64(s.PositivePairs)) })
+	row("#Training pairs", func(s Stats) string { return fmt.Sprintf("%.2e", float64(s.TrainingPairs)) })
+}
+
+// AsymmetryStats quantifies the planted behavioural asymmetry: among item
+// pairs (i,j) observed in both directions at adjacent positions, the
+// fraction whose direction counts differ significantly (a two-sided
+// binomial z-test at |z| >= 1.96, i.e. p<0.05). The paper estimates ~20%
+// for real Taobao users (§II-C); pairs seen in only one direction count as
+// skewed when their one-direction count alone is significant.
+type AsymmetryStats struct {
+	Pairs       int     // unordered pairs observed (min 5 total transitions)
+	Significant int     // pairs with significant direction skew
+	Fraction    float64 // Significant / Pairs
+}
+
+// MeasureAsymmetry computes AsymmetryStats over adjacent transitions of the
+// dataset's sessions.
+func (ds *Dataset) MeasureAsymmetry() AsymmetryStats {
+	type key struct{ a, b int32 }
+	counts := make(map[key]int, 1<<16)
+	for i := range ds.Sessions {
+		items := ds.Sessions[i].Items
+		for j := 0; j+1 < len(items); j++ {
+			a, b := items[j], items[j+1]
+			if a == b {
+				continue
+			}
+			counts[key{a, b}]++
+		}
+	}
+	seen := make(map[key]bool, len(counts))
+	var st AsymmetryStats
+	for k, fwd := range counts {
+		uk := k
+		if uk.a > uk.b {
+			uk.a, uk.b = uk.b, uk.a
+		}
+		if seen[uk] {
+			continue
+		}
+		seen[uk] = true
+		rev := counts[key{k.b, k.a}]
+		n := fwd + rev
+		if n < 5 {
+			continue
+		}
+		st.Pairs++
+		// z = (fwd - n/2) / sqrt(n/4) under H0: direction is fair.
+		z := (float64(fwd) - float64(n)/2) / math.Sqrt(float64(n)/4)
+		if z < 0 {
+			z = -z
+		}
+		if z >= 1.96 {
+			st.Significant++
+		}
+	}
+	if st.Pairs > 0 {
+		st.Fraction = float64(st.Significant) / float64(st.Pairs)
+	}
+	return st
+}

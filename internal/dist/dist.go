@@ -1,0 +1,221 @@
+// Package dist implements the paper's distributed training mechanism
+// (§III): Target Negative Sampling (TNS, Algorithm 1) with the two
+// production extensions that make up Adapted TNS (ATNS):
+//
+//   - hot-token replication: the most frequent tokens (the shared set Q,
+//     mostly SI values like gender or age) are kept on every worker and
+//     their vectors are synchronized at regular intervals, and
+//   - aggressive down-sampling of high-frequency tokens (inherited from the
+//     sgns options).
+//
+// Workers are goroutines, each owning a partition of the embedding rows;
+// the partition for items comes from HBGP (internal/graph) and SI/user-type
+// tokens are assigned randomly (§III-C step 3). A training pair (v_i, v_j)
+// is processed by the owner of v_i: if v_j is local (or replicated) the
+// whole update is local, otherwise the worker ships v_i's input vector to
+// v_j's owner, which runs the TNS function — positive update on out(v_j),
+// negatives from ITS local noise distribution, returning the gradient for
+// v_i (Algorithm 1, lines 12-21).
+//
+// This is an in-process simulation of the cluster: goroutines stand in for
+// machines and Go channels for the network, with every remote call and its
+// payload bytes counted, so communication-cost claims (the whole point of
+// ATNS + HBGP) are measured rather than assumed. Cluster wall-clock is
+// derived from those measured counters by CostModel — the host may have
+// fewer cores than simulated workers. See DESIGN.md §2 for the substitution
+// argument.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sisg/internal/corpus"
+	"sisg/internal/emb"
+	"sisg/internal/graph"
+	"sisg/internal/sgns"
+	"sisg/internal/vocab"
+)
+
+// Options configures a distributed run. Embedded sgns.Options supply the
+// model hyper-parameters (Dim, Window, Stride, Negatives, Epochs, LR,
+// subsampling, Directed); Workers is the number of simulated machines.
+type Options struct {
+	sgns.Options
+
+	// Hot-token replication (the ATNS "shared set Q").
+	HotReplication bool
+	// HotThreshold selects Q = tokens with frequency >= HotThreshold; if 0,
+	// the HotTopK most frequent tokens are used instead.
+	HotThreshold uint64
+	HotTopK      int
+	// SyncEvery is the number of processed pairs between a worker's hot
+	// replica synchronizations.
+	SyncEvery int
+
+	// SlowWorker injects a per-remote-call delay on one worker (-1 = none):
+	// the straggler experiment.
+	SlowWorker      int
+	SlowWorkerDelay time.Duration
+
+	// Cost holds the cluster cost model used to compute SimElapsed.
+	Cost CostModel
+}
+
+// CostModel converts the engine's measured counters (pairs, remote calls,
+// bytes, syncs) into simulated cluster wall-clock. The in-process engine
+// runs on however many cores the host has — possibly one — so real elapsed
+// time cannot exhibit multi-machine scaling; the model, applied to real
+// per-worker counters, can. Constants are calibrated to the paper's
+// hardware class (50-core workers, 10 Gbps Ethernet); see DESIGN.md §2.
+type CostModel struct {
+	// PairUpdateNs is the compute cost of one positive pair at reference
+	// shape (d=32, 5 negatives); scaled linearly in dim and (1+negatives).
+	PairUpdateNs float64
+	// RemoteRTTNs is the requester-visible overhead of one remote TNS call
+	// in a pipelined engine (serialization + its amortized share of the
+	// in-flight window; NOT a full network round trip, which production
+	// engines overlap with computation).
+	RemoteRTTNs float64
+	// BandwidthBytes is per-worker NIC bandwidth in bytes/second.
+	BandwidthBytes float64
+	// CacheBytes models the per-worker fast-memory working set; once the
+	// vector table exceeds it, updates pay MissPenalty extra.
+	CacheBytes  float64
+	MissPenalty float64
+	// StartupNsPerToken is the fixed per-run overhead (vocabulary build,
+	// partitioning, model allocation) per vocabulary row.
+	StartupNsPerVocab float64
+}
+
+// DefaultCostModel returns constants calibrated so a single simulated
+// worker roughly matches the measured single-goroutine throughput of the
+// local trainer.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PairUpdateNs:      250,
+		RemoteRTTNs:       150,
+		BandwidthBytes:    1.25e9, // 10 Gbps
+		CacheBytes:        32 << 20,
+		MissPenalty:       1.5,
+		StartupNsPerVocab: 2_000,
+	}
+}
+
+// DefaultOptions returns the configuration used by the scalability benches.
+func DefaultOptions(workers int) Options {
+	o := Options{Options: sgns.Defaults()}
+	o.Workers = workers
+	o.HotReplication = true
+	o.HotTopK = 512
+	o.SyncEvery = 4096
+	o.SlowWorker = -1
+	return o
+}
+
+// Stats aggregates what the cluster did.
+type Stats struct {
+	Workers     int
+	Elapsed     time.Duration // real wall time of the in-process run
+	SimElapsed  time.Duration // modeled cluster wall time (see CostModel)
+	Tokens      uint64        // tokens consumed (across the cluster, post-subsampling)
+	Pairs       uint64        // positive pairs trained
+	LocalPairs  uint64        // pairs completed without a remote call
+	RemotePairs uint64        // pairs requiring a remote TNS call
+	BytesSent   uint64        // simulated network payload (vectors + ids)
+	HotSyncs    uint64        // hot replica synchronization rounds
+	HotTokens   int           // |Q|
+	// PairsPerWorker exposes the load balance achieved.
+	PairsPerWorker []uint64
+}
+
+// SimTokensPerSec is cluster throughput under the cost model — the y-axis
+// of Figure 7(b).
+func (s Stats) SimTokensPerSec() float64 {
+	if s.SimElapsed <= 0 {
+		return 0
+	}
+	return float64(s.Tokens) / s.SimElapsed.Seconds()
+}
+
+// RemoteFraction is the share of pairs that crossed workers — the quantity
+// HBGP minimizes.
+func (s Stats) RemoteFraction() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.RemotePairs) / float64(s.Pairs)
+}
+
+// TokensPerSec returns cluster throughput (the y-axis of Figure 7(b)).
+func (s Stats) TokensPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Tokens) / s.Elapsed.Seconds()
+}
+
+// Imbalance returns max/mean pairs per worker (1.0 = perfect).
+func (s Stats) Imbalance() float64 {
+	if len(s.PairsPerWorker) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, p := range s.PairsPerWorker {
+		total += p
+		if p > max {
+			max = p
+		}
+	}
+	mean := float64(total) / float64(len(s.PairsPerWorker))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / mean
+}
+
+// Train runs distributed SISG training over the enriched sequences. The
+// item partition normally comes from graph.HBGP; non-item tokens are
+// assigned to workers by a deterministic hash (§III-C step 3: "the target
+// partitions for SI and user types are assigned randomly").
+func Train(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Options) (*emb.Model, Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if opt.Workers <= 0 {
+		return nil, Stats{}, errors.New("dist: Workers must be positive")
+	}
+	if part == nil {
+		return nil, Stats{}, errors.New("dist: nil partition")
+	}
+	if part.W != opt.Workers {
+		return nil, Stats{}, fmt.Errorf("dist: partition has %d workers, options say %d", part.W, opt.Workers)
+	}
+	if opt.SyncEvery <= 0 {
+		opt.SyncEvery = 4096
+	}
+	e, err := newEngine(dict, seqs, part, opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return e.run()
+}
+
+// PartitionForDataset builds the production partition for a dataset: HBGP
+// over the item graph of the training sessions, β = 1.2 (§III-B: "in our
+// production environment, β is set to 1.2 empirically").
+func PartitionForDataset(ds *corpus.Dataset, train []corpus.Session, workers int) (*graph.Partition, *graph.Graph, error) {
+	g := graph.FromSessions(train, ds.Dict.NumItems)
+	leafOf := make([]int32, ds.Dict.NumItems)
+	freq := make([]float64, ds.Dict.NumItems)
+	for i := 0; i < ds.Dict.NumItems; i++ {
+		leafOf[i] = ds.Catalog.LeafOf(int32(i))
+		freq[i] = float64(ds.Dict.Count(int32(i)))
+	}
+	p, err := graph.HBGP(g, leafOf, ds.Catalog.NumLeaves(), freq, workers, 1.2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, g, nil
+}

@@ -1,0 +1,358 @@
+package dist
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sisg/internal/alias"
+	"sisg/internal/emb"
+	"sisg/internal/graph"
+	"sisg/internal/rng"
+	"sisg/internal/vocab"
+)
+
+// tnsReq is one remote TNS invocation (Algorithm 1, line 7): the requester
+// ships a copy of the target's input vector; the context's owner applies
+// the positive + negative output updates and returns the input gradient.
+type tnsReq struct {
+	vec   []float32 // copy of in(v_i)
+	ctx   int32     // v_j, owned by the receiving worker
+	lr    float32
+	reply chan []float32
+}
+
+type engine struct {
+	dict *vocab.Dict
+	seqs [][]int32
+	opt  Options
+
+	owner  []int32 // token -> owning worker
+	hotIdx []int32 // token -> index into the hot set, or -1
+	hotIDs []int32 // hot set Q
+
+	model *emb.Model
+
+	// Global hot store (mutex-guarded; synchronizations are infrequent).
+	hotMu  sync.Mutex
+	hotIn  [][]float32
+	hotOut [][]float32
+
+	counts      []uint64
+	keep        []float32
+	totalTokens uint64 // corpus tokens × epochs (per worker scan)
+
+	reqCh       []chan *tnsReq
+	doneWorkers atomic.Int32
+	scanTokens  atomic.Uint64
+
+	workers []*worker
+}
+
+func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Options) (*engine, error) {
+	e := &engine{dict: dict, seqs: seqs, opt: opt}
+	w := opt.Workers
+
+	// Token ownership: items from the partition; everything else hashed
+	// (the paper assigns SI and user types to partitions randomly).
+	e.owner = make([]int32, dict.Len())
+	numItems := len(part.Of)
+	for t := 0; t < dict.Len(); t++ {
+		if t < numItems {
+			e.owner[t] = part.Of[t]
+		} else {
+			e.owner[t] = int32((uint32(t) * 2654435761) % uint32(w))
+		}
+	}
+
+	// Corpus frequencies drive the noise distributions, subsampling and
+	// the hot set.
+	e.counts = make([]uint64, dict.Len())
+	var corpusTokens uint64
+	for _, s := range seqs {
+		for _, t := range s {
+			e.counts[t]++
+		}
+		corpusTokens += uint64(len(s))
+	}
+	e.totalTokens = corpusTokens * uint64(opt.Epochs)
+	if e.totalTokens == 0 {
+		e.totalTokens = 1
+	}
+	if opt.SubsampleT > 0 {
+		e.keep = subsampleKeep(dict, e.counts, corpusTokens, opt.SubsampleT, opt.SIBoost)
+	}
+
+	// Hot set Q (§III-C step 4).
+	e.hotIdx = make([]int32, dict.Len())
+	for i := range e.hotIdx {
+		e.hotIdx[i] = -1
+	}
+	if opt.HotReplication {
+		e.hotIDs = selectHot(e.counts, opt.HotThreshold, opt.HotTopK)
+		for i, id := range e.hotIDs {
+			e.hotIdx[id] = int32(i)
+		}
+	}
+
+	master := rng.New(opt.Seed)
+	e.model = emb.NewModel(dict.Len(), opt.Dim, master)
+
+	// Global hot store seeded from the model.
+	e.hotIn = make([][]float32, len(e.hotIDs))
+	e.hotOut = make([][]float32, len(e.hotIDs))
+	for i, id := range e.hotIDs {
+		e.hotIn[i] = append([]float32(nil), e.model.In.Row(id)...)
+		e.hotOut[i] = append([]float32(nil), e.model.Out.Row(id)...)
+	}
+
+	e.reqCh = make([]chan *tnsReq, w)
+	for i := range e.reqCh {
+		e.reqCh[i] = make(chan *tnsReq, 256)
+	}
+	e.workers = make([]*worker, w)
+	for i := 0; i < w; i++ {
+		wk, err := newWorker(e, i, master.Split())
+		if err != nil {
+			return nil, err
+		}
+		e.workers[i] = wk
+	}
+	return e, nil
+}
+
+// selectHot returns the shared set Q: tokens above the frequency threshold,
+// or the top-K most frequent when threshold is zero.
+func selectHot(counts []uint64, threshold uint64, topK int) []int32 {
+	if threshold > 0 {
+		var out []int32
+		for t, c := range counts {
+			if c >= threshold {
+				out = append(out, int32(t))
+			}
+		}
+		return out
+	}
+	if topK <= 0 {
+		return nil
+	}
+	// Partial selection of the topK most frequent tokens, kept sorted by
+	// descending count (insertion into a small array).
+	type tc struct {
+		t int32
+		c uint64
+	}
+	sortTC := func(s []tc) {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j].c > s[j-1].c; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+	}
+	best := make([]tc, 0, topK)
+	for t, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if len(best) < topK {
+			best = append(best, tc{int32(t), c})
+			if len(best) == topK {
+				sortTC(best)
+			}
+			continue
+		}
+		if c > best[topK-1].c {
+			best[topK-1] = tc{int32(t), c}
+			for i := topK - 1; i > 0 && best[i].c > best[i-1].c; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+		}
+	}
+	if len(best) < topK {
+		sortTC(best)
+	}
+	out := make([]int32, len(best))
+	for i, b := range best {
+		out[i] = b.t
+	}
+	return out
+}
+
+func subsampleKeep(dict *vocab.Dict, counts []uint64, total uint64, t, siBoost float64) []float32 {
+	p := make([]float32, len(counts))
+	for i := range counts {
+		if counts[i] == 0 || total == 0 {
+			p[i] = 1
+			continue
+		}
+		f := float64(counts[i]) / float64(total)
+		keep := math.Sqrt(t/f) + t/f
+		if keep > 1 {
+			keep = 1
+		}
+		if dict.KindOf(int32(i)) != vocab.KindItem {
+			keep *= siBoost
+		}
+		p[i] = float32(keep)
+	}
+	return p
+}
+
+// run starts the workers, waits for completion, merges hot replicas back
+// into the model, and aggregates statistics.
+func (e *engine) run() (*emb.Model, Stats, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, wk := range e.workers {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			wk.run()
+		}(wk)
+	}
+	wg.Wait()
+
+	// Fold the final hot values back into the model rows.
+	for i, id := range e.hotIDs {
+		copy(e.model.In.Row(id), e.hotIn[i])
+		copy(e.model.Out.Row(id), e.hotOut[i])
+	}
+
+	st := Stats{
+		Workers:        e.opt.Workers,
+		Elapsed:        time.Since(start),
+		Tokens:         e.totalTokens, // corpus tokens × epochs, cluster-level
+		HotTokens:      len(e.hotIDs),
+		PairsPerWorker: make([]uint64, e.opt.Workers),
+	}
+	for i, wk := range e.workers {
+		st.Pairs += wk.pairs
+		st.LocalPairs += wk.localPairs
+		st.RemotePairs += wk.remotePairs
+		st.BytesSent += wk.bytesSent
+		st.HotSyncs += wk.hotSyncs
+		st.PairsPerWorker[i] = wk.pairs
+	}
+	st.SimElapsed = e.simElapsed()
+	return e.model, st, nil
+}
+
+// simElapsed applies the cost model to the measured per-worker counters:
+// the cluster finishes when its slowest worker does (makespan), plus the
+// fixed startup overhead. See CostModel for the constituent terms.
+func (e *engine) simElapsed() time.Duration {
+	cm := e.opt.Cost
+	if cm == (CostModel{}) {
+		cm = DefaultCostModel()
+	}
+	dim := float64(e.opt.Dim)
+	// Per-update compute cost, scaled from the reference shape and
+	// inflated by the cache-miss factor of the full vector table.
+	pairNs := cm.PairUpdateNs * (dim / 32) * (float64(1+e.opt.Negatives) / 6)
+	vocabBytes := float64(e.dict.Len()) * dim * 2 * 4 // in + out, float32
+	miss := 0.0
+	if vocabBytes > cm.CacheBytes && vocabBytes > 0 {
+		miss = cm.MissPenalty * (1 - cm.CacheBytes/vocabBytes)
+	}
+	pairNs *= 1 + miss
+
+	var worst float64
+	for _, wk := range e.workers {
+		compute := float64(wk.pairs-wk.remotePairs+wk.servedPairs) * pairNs
+		// The requester also pays the (overlapped) round-trip latency and
+		// its share of NIC time.
+		comm := float64(wk.remotePairs)*cm.RemoteRTTNs +
+			float64(wk.bytesSent)/cm.BandwidthBytes*1e9
+		if t := compute + comm; t > worst {
+			worst = t
+		}
+	}
+	startup := cm.StartupNsPerVocab * float64(e.dict.Len())
+	return time.Duration(worst + startup)
+}
+
+// hotSync pushes a worker's replica deltas into the global store and pulls
+// the merged values — the "synchronized (averaged) at regular intervals"
+// mechanism of §III-A.
+func (e *engine) hotSync(w *worker) {
+	if len(e.hotIDs) == 0 {
+		return
+	}
+	e.hotMu.Lock()
+	for i := range e.hotIDs {
+		applyDelta(e.hotIn[i], w.hotIn[i], w.hotInBase[i])
+		applyDelta(e.hotOut[i], w.hotOut[i], w.hotOutBase[i])
+		copy(w.hotIn[i], e.hotIn[i])
+		copy(w.hotOut[i], e.hotOut[i])
+		copy(w.hotInBase[i], e.hotIn[i])
+		copy(w.hotOutBase[i], e.hotOut[i])
+	}
+	e.hotMu.Unlock()
+	w.hotSyncs++
+	// Simulated cost: full hot set both directions.
+	w.bytesSent += uint64(len(e.hotIDs)) * uint64(e.opt.Dim) * 4 * 2
+}
+
+func applyDelta(global, local, base []float32) {
+	for i := range global {
+		global[i] += local[i] - base[i]
+	}
+}
+
+// noiseFor builds worker w's local noise distribution over its partition
+// plus the shared hot set (§III-C: "every worker maintains its own noise
+// distribution for the elements of P_j ∪ Q"). Replicated (hot) tokens
+// appear in every worker's distribution, so their weight is divided by the
+// worker count: the aggregate negative-sampling rate of a hot token then
+// matches its global unigram^α rate. Without this, hot tokens absorb ~w×
+// their fair share of negative updates, their output vectors blow up, and
+// training diverges at high worker counts.
+func (e *engine) noiseFor(id int) (*alias.Table, []int32, error) {
+	var tokens []int32
+	weights := []float64{}
+	for t := 0; t < e.dict.Len(); t++ {
+		if e.counts[t] == 0 {
+			continue
+		}
+		if e.owner[t] == int32(id) || e.hotIdx[t] >= 0 {
+			w := math.Pow(float64(e.counts[t]), e.opt.NoiseAlpha)
+			if e.hotIdx[t] >= 0 {
+				w /= float64(e.opt.Workers)
+			}
+			tokens = append(tokens, int32(t))
+			weights = append(weights, w)
+		}
+	}
+	if len(tokens) == 0 {
+		// Degenerate partition (no owned tokens observed): fall back to the
+		// full distribution so sampling still works.
+		for t := 0; t < e.dict.Len(); t++ {
+			if e.counts[t] > 0 {
+				tokens = append(tokens, int32(t))
+				weights = append(weights, math.Pow(float64(e.counts[t]), e.opt.NoiseAlpha))
+			}
+		}
+	}
+	tab, err := alias.New(weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tab, tokens, nil
+}
+
+// rowIn returns the in-vector visible to worker w for token t.
+func (e *engine) rowIn(w *worker, t int32) []float32 {
+	if hi := e.hotIdx[t]; hi >= 0 {
+		return w.hotIn[hi]
+	}
+	return e.model.In.Row(t)
+}
+
+// rowOut returns the out-vector visible to worker w for token t.
+func (e *engine) rowOut(w *worker, t int32) []float32 {
+	if hi := e.hotIdx[t]; hi >= 0 {
+		return w.hotOut[hi]
+	}
+	return e.model.Out.Row(t)
+}

@@ -1,0 +1,291 @@
+package dist
+
+import (
+	"time"
+
+	"sisg/internal/alias"
+	"sisg/internal/rng"
+	"sisg/internal/vecmath"
+)
+
+// worker is one simulated machine: it owns the embedding rows of its
+// partition, keeps replicas of the hot set, and runs two logical roles in
+// one goroutine — scanning its view of the corpus (Algorithm 1's outer
+// loop) and serving TNS requests from peers (the function TNS(v_i, v_j)).
+// While blocked on a remote call it keeps serving its own queue, which
+// makes the request mesh deadlock-free.
+type worker struct {
+	e   *engine
+	id  int32
+	r   *rng.RNG
+	opt *Options
+
+	noise       *alias.Table
+	noiseTokens []int32
+
+	// Hot replicas and the base values used for delta synchronization.
+	hotIn, hotOut         [][]float32
+	hotInBase, hotOutBase [][]float32
+
+	grad []float32
+	kept []int32
+
+	lr float32
+
+	// Counters (merged by the engine after the run).
+	pairs, localPairs, remotePairs uint64
+	servedPairs                    uint64
+	bytesSent                      uint64
+	hotSyncs                       uint64
+	sincSync                       int
+}
+
+func newWorker(e *engine, id int, r *rng.RNG) (*worker, error) {
+	w := &worker{
+		e: e, id: int32(id), r: r, opt: &e.opt,
+		grad: make([]float32, e.opt.Dim),
+		kept: make([]int32, 0, 128),
+		lr:   e.opt.LR,
+	}
+	noise, tokens, err := e.noiseFor(id)
+	if err != nil {
+		return nil, err
+	}
+	w.noise, w.noiseTokens = noise, tokens
+
+	w.hotIn = make([][]float32, len(e.hotIDs))
+	w.hotOut = make([][]float32, len(e.hotIDs))
+	w.hotInBase = make([][]float32, len(e.hotIDs))
+	w.hotOutBase = make([][]float32, len(e.hotIDs))
+	for i := range e.hotIDs {
+		w.hotIn[i] = append([]float32(nil), e.hotIn[i]...)
+		w.hotOut[i] = append([]float32(nil), e.hotOut[i]...)
+		w.hotInBase[i] = append([]float32(nil), e.hotIn[i]...)
+		w.hotOutBase[i] = append([]float32(nil), e.hotOut[i]...)
+	}
+	return w, nil
+}
+
+// run scans the corpus for opt.Epochs, then serves until every worker is
+// done. Because remote calls are synchronous, once all workers have passed
+// the done barrier no requests can be in flight.
+func (w *worker) run() {
+	e := w.e
+	for ep := 0; ep < w.opt.Epochs; ep++ {
+		for _, seq := range e.seqs {
+			w.scanSequence(seq)
+		}
+	}
+	// Final replica push so the engine's fold-in sees this worker's work.
+	e.hotSync(w)
+	e.doneWorkers.Add(1)
+	for {
+		select {
+		case req := <-e.reqCh[w.id]:
+			w.serve(req)
+		default:
+			if e.doneWorkers.Load() == int32(w.opt.Workers) {
+				// Drain anything that raced in, then exit.
+				for {
+					select {
+					case req := <-e.reqCh[w.id]:
+						w.serve(req)
+					default:
+						return
+					}
+				}
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// scanSequence subsamples, then walks the windows. Every worker scans every
+// sequence with its own RNG; a pair is trained only by its processor, so
+// each pair is handled exactly once per scanning worker that owns it
+// (Algorithm 1: "If v_i is not managed by Worker A, the pair is ignored").
+func (w *worker) scanSequence(seq []int32) {
+	e := w.e
+	opt := w.opt
+	kept := w.kept[:0]
+	for _, t := range seq {
+		if e.keep != nil && w.r.Float32() >= e.keep[t] {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	w.kept = kept
+	done := e.scanTokens.Add(uint64(len(seq)))
+	f := 1 - float32(float64(done)/float64(e.totalTokens*uint64(opt.Workers)))
+	if f < opt.MinLRFrac {
+		f = opt.MinLRFrac
+	}
+	w.lr = opt.LR * f
+	if len(kept) < 2 {
+		w.maybeServe()
+		return
+	}
+
+	stride := opt.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	steps := opt.Window / stride
+	if steps < 1 {
+		steps = 1
+	}
+	for i := range kept {
+		// Serve pending peer requests between window centers so a remote
+		// caller is never stalled behind this worker's whole scan.
+		w.maybeServe()
+		win := stride * (1 + w.r.Intn(steps))
+		lo := i - win
+		if opt.Directed || lo < 0 {
+			lo = i
+		}
+		hi := i + win
+		if hi >= len(kept) {
+			hi = len(kept) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			vi, vj := kept[i], kept[j]
+			if w.processor(vi, vj) != w.id {
+				continue
+			}
+			w.trainPair(vi, vj)
+		}
+	}
+	w.maybeServe()
+}
+
+// processor decides which worker trains the pair. Without replication it
+// is always owner(v_i) (plain TNS). With ATNS replication, pairs whose
+// target is hot are handled where the context lives, and hot-hot pairs are
+// spread by hash — every such pair then needs no remote call at all.
+func (w *worker) processor(vi, vj int32) int32 {
+	e := w.e
+	if e.hotIdx[vi] < 0 {
+		return e.owner[vi]
+	}
+	if e.hotIdx[vj] < 0 {
+		return e.owner[vj]
+	}
+	return int32((uint32(vi)*31 + uint32(vj)) % uint32(w.opt.Workers))
+}
+
+// trainPair runs one positive+negatives update for (v_i, v_j).
+func (w *worker) trainPair(vi, vj int32) {
+	e := w.e
+	w.pairs++
+	vin := e.rowIn(w, vi)
+	local := e.hotIdx[vj] >= 0 || e.owner[vj] == w.id
+	if local {
+		w.localPairs++
+		grad := w.tns(vin, vj, w.lr)
+		vecmath.Add(grad, vin)
+	} else {
+		w.remotePairs++
+		grad := w.remoteCall(e.owner[vj], vin, vj)
+		vecmath.Add(grad, vin)
+	}
+	w.sincSync++
+	if w.sincSync >= w.opt.SyncEvery && len(e.hotIDs) > 0 {
+		w.sincSync = 0
+		e.hotSync(w)
+	}
+}
+
+// tns is Algorithm 1's TNS function run locally: positive update on
+// out(v_j), negatives from the local noise distribution, returning the
+// gradient for the input vector. The returned slice is w.grad (reused).
+func (w *worker) tns(vin []float32, ctx int32, lr float32) []float32 {
+	e := w.e
+	grad := w.grad
+	vecmath.Zero(grad)
+
+	out := e.rowOut(w, ctx)
+	dot := vecmath.Dot(vin, out)
+	if dot != dot {
+		// A non-finite row slipped through (diverged pair); skip rather
+		// than poison the rest of the model.
+		return grad
+	}
+	g := (1 - vecmath.Sigmoid(dot)) * lr
+	vecmath.Axpy(g, out, grad)
+	vecmath.Axpy(g, vin, out)
+
+	for n := 0; n < w.opt.Negatives; n++ {
+		t := w.noiseTokens[w.noise.Sample(w.r)]
+		if t == ctx {
+			continue
+		}
+		// Negatives come from the local partition ∪ Q, so the row is
+		// always locally writable.
+		out := e.rowOut(w, t)
+		dot := vecmath.Dot(vin, out)
+		if dot != dot {
+			continue
+		}
+		g := (0 - vecmath.Sigmoid(dot)) * lr
+		vecmath.Axpy(g, out, grad)
+		vecmath.Axpy(g, vin, out)
+	}
+	return grad
+}
+
+// remoteCall ships in(v_i) to the owner of v_j and waits for the gradient,
+// serving incoming requests while blocked (deadlock freedom).
+func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) []float32 {
+	e := w.e
+	req := &tnsReq{
+		vec:   append([]float32(nil), vin...),
+		ctx:   ctx,
+		lr:    w.lr,
+		reply: make(chan []float32, 1),
+	}
+	w.bytesSent += uint64(len(vin))*4 + 8
+	for {
+		select {
+		case e.reqCh[dst] <- req:
+			goto sent
+		case in := <-e.reqCh[w.id]:
+			w.serve(in)
+		}
+	}
+sent:
+	for {
+		select {
+		case grad := <-req.reply:
+			w.bytesSent += uint64(len(grad)) * 4
+			return grad
+		case in := <-e.reqCh[w.id]:
+			w.serve(in)
+		}
+	}
+}
+
+// serve executes a TNS request against this worker's rows.
+func (w *worker) serve(req *tnsReq) {
+	if w.opt.SlowWorker == int(w.id) && w.opt.SlowWorkerDelay > 0 {
+		time.Sleep(w.opt.SlowWorkerDelay)
+	}
+	w.servedPairs++
+	grad := w.tns(req.vec, req.ctx, req.lr)
+	req.reply <- append([]float32(nil), grad...)
+}
+
+// maybeServe opportunistically drains the request queue between sequences
+// so a worker that finished its share early still serves peers promptly.
+func (w *worker) maybeServe() {
+	for {
+		select {
+		case req := <-w.e.reqCh[w.id]:
+			w.serve(req)
+		default:
+			return
+		}
+	}
+}

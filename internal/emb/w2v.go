@@ -1,0 +1,100 @@
+package emb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sisg/internal/vocab"
+)
+
+// SaveWord2VecText writes the INPUT vectors in the classic word2vec text
+// format ("<vocab> <dim>\n<token> v1 v2 ...\n"), which virtually every
+// embedding toolchain can read. This backs the paper's practicability
+// claim: the artifacts of SISG interoperate with "any standard SGNS
+// implementation" and its surrounding tooling.
+//
+// Only tokens with non-zero corpus frequency are exported when onlyCounted
+// is set, matching how word2vec's own output omits pruned words.
+func SaveWord2VecText(w io.Writer, m *Model, dict *vocab.Dict, onlyCounted bool) error {
+	if dict.Len() != m.Vocab() {
+		return fmt.Errorf("emb: dictionary has %d tokens, model has %d rows", dict.Len(), m.Vocab())
+	}
+	rows := 0
+	for i := 0; i < dict.Len(); i++ {
+		if !onlyCounted || dict.Count(int32(i)) > 0 {
+			rows++
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", rows, m.Dim()); err != nil {
+		return err
+	}
+	for i := 0; i < dict.Len(); i++ {
+		if onlyCounted && dict.Count(int32(i)) == 0 {
+			continue
+		}
+		if _, err := bw.WriteString(dict.Name(int32(i))); err != nil {
+			return err
+		}
+		for _, v := range m.In.Row(int32(i)) {
+			if _, err := fmt.Fprintf(bw, " %g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWord2VecText reads a word2vec text file into token names and vectors.
+// It accepts any producer's output (tokens must not contain spaces).
+func LoadWord2VecText(r io.Reader) (names []string, vecs [][]float32, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("emb: reading w2v header: %w", err)
+	}
+	parts := strings.Fields(header)
+	if len(parts) != 2 {
+		return nil, nil, errors.New("emb: malformed w2v header")
+	}
+	n, err1 := strconv.Atoi(parts[0])
+	dim, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || n < 0 || dim <= 0 {
+		return nil, nil, errors.New("emb: malformed w2v header values")
+	}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != dim+1 {
+			return nil, nil, fmt.Errorf("emb: row %d has %d fields, want %d", len(names), len(fields), dim+1)
+		}
+		vec := make([]float32, dim)
+		for i := 0; i < dim; i++ {
+			f, err := strconv.ParseFloat(fields[i+1], 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("emb: row %d: %v", len(names), err)
+			}
+			vec[i] = float32(f)
+		}
+		names = append(names, fields[0])
+		vecs = append(vecs, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(names) != n {
+		return nil, nil, fmt.Errorf("emb: header promised %d rows, got %d", n, len(names))
+	}
+	return names, vecs, nil
+}

@@ -1,0 +1,87 @@
+package emb
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sisg/internal/rng"
+	"sisg/internal/vocab"
+)
+
+func w2vFixture() (*Model, *vocab.Dict) {
+	d := vocab.NewDict(4)
+	d.Add("item_0", vocab.KindItem, 5)
+	d.Add("item_1", vocab.KindItem, 0) // zero count: prunable
+	d.Add("brand_2", vocab.KindSI, 7)
+	m := NewModel(3, 4, rng.New(3))
+	return m, d
+}
+
+func TestWord2VecRoundtrip(t *testing.T) {
+	m, d := w2vFixture()
+	var buf bytes.Buffer
+	if err := SaveWord2VecText(&buf, m, d, false); err != nil {
+		t.Fatal(err)
+	}
+	names, vecs, err := LoadWord2VecText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "item_0" || names[2] != "brand_2" {
+		t.Fatalf("names: %v", names)
+	}
+	for i := range vecs {
+		for j, v := range vecs[i] {
+			if math.Abs(float64(v-m.In.Row(int32(i))[j])) > 1e-6 {
+				t.Fatalf("row %d col %d: %v != %v", i, j, v, m.In.Row(int32(i))[j])
+			}
+		}
+	}
+}
+
+func TestWord2VecOnlyCounted(t *testing.T) {
+	m, d := w2vFixture()
+	var buf bytes.Buffer
+	if err := SaveWord2VecText(&buf, m, d, true); err != nil {
+		t.Fatal(err)
+	}
+	names, _, err := LoadWord2VecText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("pruned export has %d rows", len(names))
+	}
+	for _, n := range names {
+		if n == "item_1" {
+			t.Fatal("zero-count token exported")
+		}
+	}
+}
+
+func TestWord2VecShapeMismatch(t *testing.T) {
+	m, _ := w2vFixture()
+	small := vocab.NewDict(1)
+	small.Add("only", vocab.KindItem, 1)
+	if err := SaveWord2VecText(&bytes.Buffer{}, m, small, false); err == nil {
+		t.Fatal("dict/model mismatch accepted")
+	}
+}
+
+func TestLoadWord2VecErrors(t *testing.T) {
+	cases := []string{
+		"",                 // no header
+		"garbage\n",        // malformed header
+		"x 4\n",            // non-numeric count
+		"2 3\ntok 1 2\n",   // wrong field count
+		"2 3\ntok 1 2 x\n", // bad float
+		"2 3\ntok 1 2 3\n", // fewer rows than promised
+	}
+	for _, c := range cases {
+		if _, _, err := LoadWord2VecText(strings.NewReader(c)); err == nil {
+			t.Errorf("Load(%q): want error", c)
+		}
+	}
+}

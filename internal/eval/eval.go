@@ -1,0 +1,181 @@
+// Package eval implements the paper's offline evaluation protocol (§IV-A):
+// next-item recommendation scored by HitRate@K.
+//
+// For each held-out session (v1 … vp), the model is trained on everything
+// up to v_{p-1}; at evaluation time the K most similar items to v_{p-1} are
+// retrieved and HR@K counts how often v_p is among them (Eq. 5):
+//
+//	HR@K = (1/|S|) Σ_S 1[v_p ∈ S_K(v_{p-1})]
+//
+// The package is model-agnostic: anything that can produce a ranked
+// candidate list for a query item can be evaluated, which is how the SISG
+// variants, EGES and CF all share one harness.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sisg/internal/corpus"
+	"sisg/internal/knn"
+)
+
+// Recommender produces up to k ranked candidate item IDs for a query item,
+// most similar first. tc carries the full test case so personalized
+// recommenders can use the user type; pure item-to-item models ignore it.
+type Recommender interface {
+	Recommend(tc corpus.TestCase, k int) []knn.Result
+}
+
+// RecommenderFunc adapts a function to the Recommender interface.
+type RecommenderFunc func(tc corpus.TestCase, k int) []knn.Result
+
+// Recommend implements Recommender.
+func (f RecommenderFunc) Recommend(tc corpus.TestCase, k int) []knn.Result {
+	return f(tc, k)
+}
+
+// Ks are the cutoffs reported in Table III.
+var Ks = []int{1, 10, 20, 100, 200}
+
+// Result holds HitRate at each cutoff for one model.
+type Result struct {
+	Model string
+	HR    map[int]float64 // cutoff -> hit rate
+	Tests int
+}
+
+// GainOver returns the relative improvement of r over base at cutoff k,
+// e.g. 0.25 for +25% — the "increase" columns of Table III.
+func (r Result) GainOver(base Result, k int) float64 {
+	b := base.HR[k]
+	if b == 0 {
+		return 0
+	}
+	return (r.HR[k] - b) / b
+}
+
+// Evaluate computes HR@K for every cutoff in ks (Ks if nil) over the test
+// cases, querying each recommender once at the maximum cutoff and reusing
+// the ranked list for all smaller cutoffs. Evaluation parallelizes across
+// test cases.
+func Evaluate(name string, rec Recommender, tests []corpus.TestCase, ks []int) Result {
+	if ks == nil {
+		ks = Ks
+	}
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	hitsAt := make([]int64, len(ks))
+	var mu sync.Mutex
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tests) {
+		workers = len(tests)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(tests) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(tests) {
+			hi = len(tests)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(cases []corpus.TestCase) {
+			defer wg.Done()
+			local := make([]int64, len(ks))
+			for _, tc := range cases {
+				ranked := rec.Recommend(tc, maxK)
+				rank := -1
+				for i, r := range ranked {
+					if r.ID == tc.Target {
+						rank = i
+						break
+					}
+				}
+				if rank < 0 {
+					continue
+				}
+				for i, k := range ks {
+					if rank < k {
+						local[i]++
+					}
+				}
+			}
+			mu.Lock()
+			for i := range ks {
+				hitsAt[i] += local[i]
+			}
+			mu.Unlock()
+		}(tests[lo:hi])
+	}
+	wg.Wait()
+
+	res := Result{Model: name, HR: make(map[int]float64, len(ks)), Tests: len(tests)}
+	for i, k := range ks {
+		if len(tests) > 0 {
+			res.HR[k] = float64(hitsAt[i]) / float64(len(tests))
+		}
+	}
+	return res
+}
+
+// WriteTable renders results as a Table III-style text table: HR at each
+// cutoff plus the relative gain over the first row (the SGNS baseline).
+func WriteTable(w io.Writer, results []Result, ks []int) {
+	if ks == nil {
+		ks = Ks
+	}
+	sort.Ints(ks)
+	fmt.Fprintf(w, "%-12s", "Variant")
+	for _, k := range ks {
+		fmt.Fprintf(w, "%10s%10s", fmt.Sprintf("HR@%d", k), "increase")
+	}
+	fmt.Fprintln(w)
+	if len(results) == 0 {
+		return
+	}
+	base := results[0]
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12s", r.Model)
+		for _, k := range ks {
+			fmt.Fprintf(w, "%10.4f", r.HR[k])
+			if r.Model == base.Model {
+				fmt.Fprintf(w, "%10s", "-")
+			} else {
+				fmt.Fprintf(w, "%9.2f%%", 100*r.GainOver(base, k))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Coverage reports what fraction of the catalog ever appears in the top-k
+// lists across the test queries — a standard diversity diagnostic used by
+// the ablation benches (not in the paper's tables, but useful when tuning
+// the generator).
+func Coverage(rec Recommender, tests []corpus.TestCase, k, numItems int) float64 {
+	seen := make(map[int32]bool, numItems)
+	for _, tc := range tests {
+		for _, r := range rec.Recommend(tc, k) {
+			seen[r.ID] = true
+		}
+	}
+	if numItems == 0 {
+		return 0
+	}
+	return float64(len(seen)) / float64(numItems)
+}

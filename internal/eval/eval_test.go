@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sisg/internal/corpus"
+	"sisg/internal/knn"
+)
+
+// fixedRec always ranks items 0,1,2,... regardless of the query.
+type fixedRec struct{}
+
+func (fixedRec) Recommend(tc corpus.TestCase, k int) []knn.Result {
+	out := make([]knn.Result, k)
+	for i := range out {
+		out[i] = knn.Result{ID: int32(i), Score: float32(k - i)}
+	}
+	return out
+}
+
+func TestEvaluateKnownRanks(t *testing.T) {
+	// Targets 0..9: target i sits at rank i of the fixed list, so
+	// HR@K = min(K,10)/10.
+	var tests []corpus.TestCase
+	for i := int32(0); i < 10; i++ {
+		tests = append(tests, corpus.TestCase{Query: 100, Target: i})
+	}
+	res := Evaluate("fixed", fixedRec{}, tests, []int{1, 5, 10, 20})
+	want := map[int]float64{1: 0.1, 5: 0.5, 10: 1.0, 20: 1.0}
+	for k, w := range want {
+		if res.HR[k] != w {
+			t.Errorf("HR@%d = %v, want %v", k, res.HR[k], w)
+		}
+	}
+	if res.Tests != 10 {
+		t.Fatalf("Tests = %d", res.Tests)
+	}
+}
+
+func TestEvaluateMissAll(t *testing.T) {
+	tests := []corpus.TestCase{{Query: 0, Target: 999}}
+	res := Evaluate("fixed", fixedRec{}, tests, []int{10})
+	if res.HR[10] != 0 {
+		t.Fatalf("HR = %v", res.HR[10])
+	}
+}
+
+func TestGainOver(t *testing.T) {
+	base := Result{Model: "base", HR: map[int]float64{10: 0.2}}
+	r := Result{Model: "x", HR: map[int]float64{10: 0.3}}
+	if g := r.GainOver(base, 10); g < 0.499 || g > 0.501 {
+		t.Fatalf("gain = %v", g)
+	}
+	zero := Result{Model: "z", HR: map[int]float64{10: 0}}
+	if g := r.GainOver(zero, 10); g != 0 {
+		t.Fatalf("gain over zero base = %v", g)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	rs := []Result{
+		{Model: "SGNS", HR: map[int]float64{1: 0.01, 10: 0.05}},
+		{Model: "SISG", HR: map[int]float64{1: 0.02, 10: 0.10}},
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, rs, []int{1, 10})
+	out := buf.String()
+	if !strings.Contains(out, "SGNS") || !strings.Contains(out, "SISG") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "100.00%") {
+		t.Fatalf("gain column missing:\n%s", out)
+	}
+	// Empty results should not panic.
+	WriteTable(&buf, nil, nil)
+}
+
+func TestCoverage(t *testing.T) {
+	tests := []corpus.TestCase{{Query: 0}, {Query: 1}}
+	cov := Coverage(fixedRec{}, tests, 5, 100)
+	if cov != 0.05 { // items 0..4 over 100
+		t.Fatalf("coverage = %v", cov)
+	}
+	if Coverage(fixedRec{}, tests, 5, 0) != 0 {
+		t.Fatal("zero catalog coverage")
+	}
+}
+
+func TestRecommenderFunc(t *testing.T) {
+	called := false
+	rec := RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
+		called = true
+		return nil
+	})
+	rec.Recommend(corpus.TestCase{}, 3)
+	if !called {
+		t.Fatal("adapter did not delegate")
+	}
+}
+
+func TestEvaluateParallelConsistency(t *testing.T) {
+	// Many test cases exercise the parallel path; results must match the
+	// analytic expectation exactly (counting is deterministic).
+	var tests []corpus.TestCase
+	for i := 0; i < 1000; i++ {
+		tests = append(tests, corpus.TestCase{Target: int32(i % 20)})
+	}
+	res := Evaluate("fixed", fixedRec{}, tests, []int{10})
+	if res.HR[10] != 0.5 { // targets 0..9 hit, 10..19 miss
+		t.Fatalf("HR@10 = %v", res.HR[10])
+	}
+}

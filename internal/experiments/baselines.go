@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sisg/internal/cf"
+	"sisg/internal/corpus"
+	"sisg/internal/eges"
+	"sisg/internal/eval"
+	"sisg/internal/graph"
+	"sisg/internal/knn"
+	"sisg/internal/sgns"
+)
+
+// init installs the EGES and CF baseline constructors into the Table III /
+// Figure 3 drivers (kept behind function hooks so quick unit tests can run
+// the SISG-only path without pulling these packages' work in).
+func init() {
+	EGESTrainer = trainEGES
+	CFTrainer = trainCF
+}
+
+func trainEGES(ds *corpus.Dataset, split *corpus.Split, train sgns.Options) (eval.Recommender, error) {
+	g := graph.FromSessions(split.Train, ds.Dict.NumItems)
+	opt := eges.Defaults()
+	opt.Dim = train.Dim
+	opt.Window = train.Window
+	opt.Negatives = train.Negatives
+	opt.Epochs = train.Epochs
+	opt.LR = train.LR
+	opt.Seed = train.Seed
+	opt.Workers = train.Workers
+	// Match the walk corpus size to the session corpus so EGES is not
+	// starved relative to the sequence-trained variants.
+	var toks int
+	for i := range split.Train {
+		toks += len(split.Train[i].Items)
+	}
+	opt.WalkLength = 12
+	opt.WalksPerNode = toks/(ds.Dict.NumItems*opt.WalkLength) + 1
+	m, err := eges.Train(ds.Dict, g, opt)
+	if err != nil {
+		return nil, fmt.Errorf("eges: %w", err)
+	}
+	return eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
+		return m.Similar(tc.Query, k)
+	}), nil
+}
+
+func trainCF(ds *corpus.Dataset, split *corpus.Split, train sgns.Options) (eval.Recommender, error) {
+	opt := cf.Defaults()
+	opt.Window = train.Window
+	m, err := cf.Train(split.Train, ds.Dict.NumItems, opt)
+	if err != nil {
+		return nil, fmt.Errorf("cf: %w", err)
+	}
+	return eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
+		return m.Similar(tc.Query, k)
+	}), nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"sisg/internal/corpus"
+	"sisg/internal/eval"
+	"sisg/internal/sgns"
+	"sisg/internal/sisg"
+)
+
+func TestRegistryUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "asym", "hbgp", "atns"} {
+		if !seen[want] {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}
+
+func TestCorpusByName(t *testing.T) {
+	for _, name := range []string{"Sim25K", "Sim100K", "Sim800K", "quick", "tiny"} {
+		cfg, err := CorpusByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := CorpusByName("bogus"); err == nil {
+		t.Error("bogus corpus accepted")
+	}
+}
+
+func TestTable1AndAsymRun(t *testing.T) {
+	for _, id := range []string{"table1"} {
+		e := findExperiment(t, id)
+		var out bytes.Buffer
+		if err := e.Run(&out, io.Discard, true, 0); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func findExperiment(t *testing.T, id string) Experiment {
+	t.Helper()
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e
+		}
+	}
+	t.Fatalf("experiment %q not found", id)
+	return Experiment{}
+}
+
+// TestMiniTable3Pipeline is the integration test of the full offline
+// pipeline on a tiny corpus: generate → split → train two variants →
+// evaluate → render. It asserts the pipeline runs and that the SI variant
+// beats plain SGNS at K=20 on this SI-rich workload.
+func TestMiniTable3Pipeline(t *testing.T) {
+	cfg := Table3Config{
+		Corpus:   corpus.Tiny(),
+		Train:    sgns.Defaults(),
+		TestFrac: 0.1,
+		Ks:       []int{1, 10, 20},
+	}
+	cfg.Corpus.NumSessions = 6000
+	cfg.Train.Epochs = 3
+	res, err := RunTable3(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 { // five SISG variants, no EGES/CF
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	sgnsRow := res.Row("SGNS")
+	fRow := res.Row("SISG-F")
+	if sgnsRow == nil || fRow == nil {
+		t.Fatal("missing rows")
+	}
+	if fRow.Result.HR[20] <= sgnsRow.Result.HR[20] {
+		t.Fatalf("SISG-F (%.4f) did not beat SGNS (%.4f) at HR@20",
+			fRow.Result.HR[20], sgnsRow.Result.HR[20])
+	}
+	var buf bytes.Buffer
+	res.Write(&buf, cfg.Ks)
+	if !strings.Contains(buf.String(), "SISG-F-U-D") {
+		t.Fatal("rendered table missing variant")
+	}
+}
+
+// TestMiniFig3Pipeline runs the A/B simulation end to end on a tiny corpus.
+func TestMiniFig3Pipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := corpus.Tiny()
+	cfg.NumSessions = 5000
+	res, err := RunFig3(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 8 {
+		t.Fatalf("%d days", len(res.Days))
+	}
+	for _, arm := range res.Arms {
+		if res.MeanCTR(arm) <= 0 {
+			t.Fatalf("arm %s has zero CTR", arm)
+		}
+	}
+}
+
+// TestMiniCaseStudies runs the Figure 4/5/6 drivers on a tiny model.
+func TestMiniCaseStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := corpus.Tiny()
+	cfg.NumSessions = 5000
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := ds.HoldoutItems(0.10)
+	train := corpus.FilterSessions(ds.Sessions, cold)
+	opt := sgns.Defaults()
+	opt.Epochs = 2
+	m, err := sisg.Train(ds.Dict, train, sisg.VariantSISGFUD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &caseStudyModel{ds: ds, model: m, cold: cold}
+	var buf bytes.Buffer
+	if err := RunFig4(cs, &buf); err != nil {
+		t.Fatalf("fig4: %v", err)
+	}
+	if err := RunFig5(cs, &buf); err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	if err := RunFig6(cs, &buf); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	if !strings.Contains(buf.String(), "silhouette") {
+		t.Fatal("fig5 output missing silhouette")
+	}
+}
+
+// TestMiniFig7 exercises the distributed sweeps at miniature scale.
+func TestMiniFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := corpus.Tiny()
+	cfg.NumSessions = 1200
+	rows, err := RunFig7a(cfg, []int{1, 2}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].Stats.SimElapsed >= rows[0].Stats.SimElapsed {
+		t.Fatalf("2 workers (%v) not faster than 1 (%v)",
+			rows[1].Stats.SimElapsed, rows[0].Stats.SimElapsed)
+	}
+}
+
+// TestEvalKsDefault pins the Table III cutoffs.
+func TestEvalKsDefault(t *testing.T) {
+	want := []int{1, 10, 20, 100, 200}
+	if len(eval.Ks) != len(want) {
+		t.Fatal("eval.Ks changed")
+	}
+	for i := range want {
+		if eval.Ks[i] != want[i] {
+			t.Fatal("eval.Ks changed")
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sisg/internal/corpus"
+	"sisg/internal/dist"
+	"sisg/internal/graph"
+	"sisg/internal/sisg"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7a",
+		Title: "Figure 7(a) — training time vs number of workers (paper: ≈ 1/x)",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			cfg := fig7Corpus(quick)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			workers := []int{1, 2, 4, 8, 16, 32}
+			if quick {
+				workers = []int{1, 2, 4, 8}
+			}
+			rows, err := RunFig7a(cfg, workers, log)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%8s %14s %10s %12s %10s\n", "workers", "sim time", "speedup", "remote frac", "imbalance")
+			base := rows[0].Stats.SimElapsed.Seconds()
+			for _, r := range rows {
+				fmt.Fprintf(out, "%8d %14s %9.2fx %11.1f%% %10.2f\n",
+					r.Workers, r.Stats.SimElapsed.Round(time.Millisecond),
+					base/r.Stats.SimElapsed.Seconds(),
+					100*r.Stats.RemoteFraction(), r.Stats.Imbalance())
+			}
+			fmt.Fprintln(out, "(paper: the curve is 'very close to y = 1/x')")
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig7b",
+		Title: "Figure 7(b) — training speed vs corpus size (paper: decreases, then stabilizes)",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			scales := []float64{0.1, 0.2, 0.4, 0.8, 1.6}
+			if quick {
+				scales = []float64{0.25, 0.5, 1}
+			}
+			rows, err := RunFig7b(fig7Corpus(quick), scales, 8, log)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%14s %16s %14s\n", "tokens", "tokens/hour", "sim time")
+			for _, r := range rows {
+				fmt.Fprintf(out, "%14d %16.3e %14s\n",
+					r.Stats.Tokens, r.Stats.SimTokensPerSec()*3600,
+					r.Stats.SimElapsed.Round(time.Millisecond))
+			}
+			fmt.Fprintln(out, "(paper: speed decreases with corpus size, then becomes relatively stable)")
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "hbgp",
+		Title: "Ablation — HBGP vs random vs greedy-load partitioning (remote-call fraction, balance)",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			cfg := fig7Corpus(quick)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			return RunHBGPAblation(cfg, []int{4, 8, 16}, out, log)
+		},
+	})
+	register(Experiment{
+		ID:    "atns",
+		Title: "Ablation — ATNS hot-token replication on/off (remote calls, bytes)",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			cfg := fig7Corpus(quick)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			return RunATNSAblation(cfg, 8, out, log)
+		},
+	})
+}
+
+// fig7Corpus is the scalability workload: the Sim100K analogue of
+// Taobao100M, reduced in quick mode.
+func fig7Corpus(quick bool) corpus.Config {
+	if quick {
+		c := quickCorpus()
+		c.Name = "SimQuick"
+		return c
+	}
+	c := corpus.Sim100K()
+	// Keep the distributed sweeps tractable: the engine scans the corpus
+	// once per worker per epoch, and the host may be a single core.
+	c.NumSessions = 40_000
+	return c
+}
+
+// Fig7Row is one sweep point.
+type Fig7Row struct {
+	Workers int
+	Stats   dist.Stats
+}
+
+// RunFig7a trains the production variant distributedly for each worker
+// count on one fixed dataset and reports the cost-model cluster times.
+func RunFig7a(cfg corpus.Config, workers []int, log io.Writer) ([]Fig7Row, error) {
+	ds, seqs, err := fig7Dataset(cfg, log)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, w := range workers {
+		st, err := fig7Train(ds, seqs, w, true, log)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{Workers: w, Stats: st})
+	}
+	return rows, nil
+}
+
+// RunFig7b sweeps corpus size at a fixed worker count. Each scale point
+// re-generates a proportionally sized dataset (items and sessions both
+// scale, as they do in the paper's Table II ladder) so the vocabulary —
+// and with it the per-update memory pressure — grows with the corpus.
+func RunFig7b(base corpus.Config, scales []float64, workers int, log io.Writer) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, s := range scales {
+		cfg := base
+		cfg.Name = fmt.Sprintf("%s-x%.2f", base.Name, s)
+		cfg.NumItems = max2(int(float64(base.NumItems)*s), 2000)
+		cfg.NumLeafCats = max2(int(float64(base.NumLeafCats)*s), 64)
+		cfg.NumShops = max2(int(float64(base.NumShops)*s), 100)
+		cfg.NumBrands = max2(int(float64(base.NumBrands)*s), 60)
+		cfg.NumSessions = max2(int(float64(base.NumSessions)*s), 2000)
+		ds, seqs, err := fig7Dataset(cfg, log)
+		if err != nil {
+			return nil, err
+		}
+		st, err := fig7Train(ds, seqs, workers, true, log)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{Workers: workers, Stats: st})
+	}
+	return rows, nil
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fig7Dataset(cfg corpus.Config, log io.Writer) (*corpus.Dataset, [][]int32, error) {
+	if log != nil {
+		fmt.Fprintf(log, "fig7: generating %s ...\n", cfg.Name)
+	}
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	seqs := sisg.Enrich(ds.Dict, ds.Sessions, sisg.VariantSISGFUD)
+	return ds, seqs, nil
+}
+
+func fig7Train(ds *corpus.Dataset, seqs [][]int32, workers int, hot bool, log io.Writer) (dist.Stats, error) {
+	part, _, err := dist.PartitionForDataset(ds, ds.Sessions, workers)
+	if err != nil {
+		return dist.Stats{}, err
+	}
+	opt := dist.DefaultOptions(workers)
+	opt.Options = sisg.TrainOptions(opt.Options, sisg.VariantSISGFUD, 5)
+	opt.Epochs = 1
+	opt.HotReplication = hot
+	_, st, err := dist.Train(ds.Dict.Dict, seqs, part, opt)
+	if err != nil {
+		return dist.Stats{}, err
+	}
+	if log != nil {
+		fmt.Fprintf(log, "fig7: w=%d sim=%v remote=%.1f%% pairs=%d\n",
+			workers, st.SimElapsed.Round(time.Millisecond), 100*st.RemoteFraction(), st.Pairs)
+	}
+	return st, nil
+}
+
+// RunHBGPAblation compares HBGP against random and greedy-load item
+// partitioning on the quantities §III-B optimizes: the probability a
+// training pair crosses workers, and the load balance.
+func RunHBGPAblation(cfg corpus.Config, workerCounts []int, out, log io.Writer) error {
+	ds, seqs, err := fig7Dataset(cfg, log)
+	if err != nil {
+		return err
+	}
+	freq := make([]float64, ds.Dict.NumItems)
+	for i := range freq {
+		freq[i] = float64(ds.Dict.Count(int32(i)))
+	}
+	fmt.Fprintf(out, "%8s %-8s %12s %12s %12s %12s\n",
+		"workers", "strategy", "cut frac", "imbalance", "remote frac", "bytes sent")
+	for _, w := range workerCounts {
+		hbgpPart, g, err := dist.PartitionForDataset(ds, ds.Sessions, w)
+		if err != nil {
+			return err
+		}
+		parts := []struct {
+			name string
+			p    *graph.Partition
+		}{
+			{"HBGP", hbgpPart},
+			{"random", graph.RandomPartition(ds.Dict.NumItems, freq, w, cfg.Seed)},
+			{"greedy", graph.GreedyLoadPartition(ds.Dict.NumItems, freq, w)},
+		}
+		for _, pp := range parts {
+			opt := dist.DefaultOptions(w)
+			opt.Options = sisg.TrainOptions(opt.Options, sisg.VariantSISGFUD, 5)
+			opt.Epochs = 1
+			_, st, err := dist.Train(ds.Dict.Dict, seqs, pp.p, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%8d %-8s %11.1f%% %12.2f %11.1f%% %12d\n",
+				w, pp.name, 100*pp.p.CutFraction(g), pp.p.Imbalance(),
+				100*st.RemoteFraction(), st.BytesSent)
+		}
+	}
+	return nil
+}
+
+// RunATNSAblation toggles hot-token replication and reports the remote-call
+// saving (§III-A's claim).
+func RunATNSAblation(cfg corpus.Config, workers int, out, log io.Writer) error {
+	ds, seqs, err := fig7Dataset(cfg, log)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-18s %12s %12s %14s %12s\n", "mode", "remote frac", "pairs", "bytes sent", "sim time")
+	for _, hot := range []bool{false, true} {
+		st, err := fig7Train(ds, seqs, workers, hot, log)
+		if err != nil {
+			return err
+		}
+		name := "TNS (no replication)"
+		if hot {
+			name = "ATNS (hot top-K)"
+		}
+		fmt.Fprintf(out, "%-18s %11.1f%% %12d %14d %12s\n",
+			name, 100*st.RemoteFraction(), st.Pairs, st.BytesSent,
+			st.SimElapsed.Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sisg/internal/corpus"
+	"sisg/internal/knn"
+	"sisg/internal/sgns"
+	"sisg/internal/sisg"
+	"sisg/internal/tsne"
+)
+
+// caseStudyModel trains the production variant once and shares it across
+// the Figure 4/5/6 case studies within a single bench invocation.
+type caseStudyModel struct {
+	ds    *corpus.Dataset
+	model *sisg.Model
+	cold  []int32
+}
+
+func trainCaseStudy(cfgName string, quick bool, seed uint64, log io.Writer) (*caseStudyModel, error) {
+	cfg := corpus.Sim25K()
+	if quick {
+		cfg = quickCorpus()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if log != nil {
+		fmt.Fprintf(log, "%s: generating %s and training SISG-F-U-D ...\n", cfgName, cfg.Name)
+	}
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cold := ds.HoldoutItems(0.10)
+	train := corpus.FilterSessions(ds.Sessions, cold)
+	opt := sgns.Defaults()
+	opt.Window = 5
+	m, err := sisg.Train(ds.Dict, train, sisg.VariantSISGFUD, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &caseStudyModel{ds: ds, model: m, cold: cold}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4 — cold-start user recommendations per demographic group",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			cs, err := trainCaseStudy("fig4", quick, seed, log)
+			if err != nil {
+				return err
+			}
+			return RunFig4(cs, out)
+		},
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5 — t-SNE of user-type embeddings (silhouette by gender/age)",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			cs, err := trainCaseStudy("fig5", quick, seed, log)
+			if err != nil {
+				return err
+			}
+			return RunFig5(cs, out)
+		},
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Figure 6 — cold-start item recommendations via Eq. 6 (SI vectors only)",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			cs, err := trainCaseStudy("fig6", quick, seed, log)
+			if err != nil {
+				return err
+			}
+			return RunFig6(cs, out)
+		},
+	})
+}
+
+// RunFig4 reproduces the Figure 4 case study quantitatively: for each
+// (gender, age, power) demographic group, average the matching user-type
+// vectors and retrieve top items; then verify the paper's observations —
+// different genders see different items, and higher purchasing power sees
+// pricier (higher-tier) items.
+func RunFig4(cs *caseStudyModel, out io.Writer) error {
+	ds, m := cs.ds, cs.model
+	const k = 50
+
+	type group struct {
+		gender, power int
+		name          string
+	}
+	var groups []group
+	for g := 0; g < 2; g++ { // F, M (the paper's figure shows both)
+		for p := 0; p < ds.Cfg.NumPowers; p++ {
+			groups = append(groups, group{g, p, fmt.Sprintf("%s/power%d", corpus.Genders[g], p)})
+		}
+	}
+
+	recs := make(map[string][]knn.Result, len(groups))
+	for _, gr := range groups {
+		types := ds.Pop.TypesMatching(gr.gender, -1, gr.power)
+		r, err := m.RecommendForColdUser(types, k)
+		if err != nil {
+			return fmt.Errorf("fig4 group %s: %w", gr.name, err)
+		}
+		recs[gr.name] = r
+	}
+
+	fmt.Fprintf(out, "%-12s %8s %10s  top recommended items (leaf/brand/tier)\n", "group", "meanTier", "topShare")
+	for _, gr := range groups {
+		r := recs[gr.name]
+		var tierSum float64
+		topCount := map[int32]int{}
+		for _, x := range r {
+			it := ds.Catalog.Items[x.ID]
+			tierSum += float64(it.Tier)
+			topCount[it.Top]++
+		}
+		best, bestN := int32(-1), 0
+		for t, n := range topCount {
+			if n > bestN {
+				best, bestN = t, n
+			}
+		}
+		fmt.Fprintf(out, "%-12s %8.2f %9.0f%%  ", gr.name, tierSum/float64(len(r)), 100*float64(bestN)/float64(len(r)))
+		for i := 0; i < 3 && i < len(r); i++ {
+			it := ds.Catalog.Items[r[i].ID]
+			fmt.Fprintf(out, "item_%d(leaf%d,brand%d,t%d) ", r[i].ID, it.Leaf, it.Brand, it.Tier)
+		}
+		fmt.Fprintf(out, "(top cat %d)\n", best)
+	}
+
+	// The two headline observations, quantified.
+	overlap := jaccardTop(recs["F/power1"], recs["M/power1"], k)
+	fmt.Fprintf(out, "\nF vs M overlap of top-%d (same power): %.1f%% (paper: 'significantly different')\n", k, 100*overlap)
+	lowTier := meanTier(ds, recs["F/power0"]) + meanTier(ds, recs["M/power0"])
+	highTier := meanTier(ds, recs[fmt.Sprintf("F/power%d", ds.Cfg.NumPowers-1)]) +
+		meanTier(ds, recs[fmt.Sprintf("M/power%d", ds.Cfg.NumPowers-1)])
+	fmt.Fprintf(out, "mean rec tier, low power: %.2f vs high power: %.2f (paper: pricier brands for higher power)\n",
+		lowTier/2, highTier/2)
+	return nil
+}
+
+func jaccardTop(a, b []knn.Result, k int) float64 {
+	sa := map[int32]bool{}
+	for i := 0; i < k && i < len(a); i++ {
+		sa[a[i].ID] = true
+	}
+	inter := 0
+	union := len(sa)
+	for i := 0; i < k && i < len(b); i++ {
+		if sa[b[i].ID] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func meanTier(ds *corpus.Dataset, r []knn.Result) float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range r {
+		s += float64(ds.Catalog.Items[x.ID].Tier)
+	}
+	return s / float64(len(r))
+}
+
+// RunFig5 embeds every user-type vector with t-SNE and reports silhouette
+// scores under the gender and age labellings — the quantitative version of
+// the paper's "male and female user types concentrate in different
+// regions, and within each region age clusters are visible".
+func RunFig5(cs *caseStudyModel, out io.Writer) error {
+	ds, m := cs.ds, cs.model
+	n := len(ds.Pop.Types)
+	vecs := make([][]float32, n)
+	genders := make([]int, n)
+	ages := make([]int, n)
+	for t := 0; t < n; t++ {
+		// Directed models train user-type OUTPUT vectors (see
+		// RecommendForColdUser); use the same side here.
+		if m.Variant.Directed {
+			vecs[t] = m.Emb.Out.Row(m.Dict.UserType[t])
+		} else {
+			vecs[t] = m.UserTypeVector(int32(t))
+		}
+		genders[t] = int(ds.Pop.Types[t].Gender)
+		ages[t] = int(ds.Pop.Types[t].Age)
+	}
+	opt := tsne.Defaults()
+	if n/4 < int(opt.Perplexity) {
+		opt.Perplexity = float64(n) / 5
+	}
+	y, err := tsne.Embed(vecs, opt)
+	if err != nil {
+		return err
+	}
+	sg := tsne.Silhouette(y, genders)
+	sa := tsne.Silhouette(y, ages)
+	fmt.Fprintf(out, "user types embedded: %d\n", n)
+	fmt.Fprintf(out, "silhouette by gender: %.3f (paper: clearly separated regions => positive)\n", sg)
+	fmt.Fprintf(out, "silhouette by age:    %.3f (paper: visible sub-clusters => positive, weaker)\n", sa)
+	fmt.Fprintln(out, "first 5 coordinates (x, y, gender, age):")
+	for i := 0; i < 5 && i < n; i++ {
+		fmt.Fprintf(out, "  %8.2f %8.2f  %s %s\n", y[i][0], y[i][1],
+			corpus.Genders[genders[i]], ds.Pop.Types[i].Token())
+	}
+	return nil
+}
+
+// RunFig6 reproduces the cold-start item case study: for held-out (cold)
+// items, recommendations obtained from the Eq. 6 SI-only vector are
+// compared to the ground-truth category; for trained items, Eq. 6
+// recommendations are compared against trained-vector recommendations
+// (the two rows of Figure 6).
+func RunFig6(cs *caseStudyModel, out io.Writer) error {
+	ds, m := cs.ds, cs.model
+	const k = 10
+
+	// Warm comparison: trained vector vs Eq. 6 vector, overlap@k.
+	warm := warmSample(ds, cs.cold, 300)
+	var overlapSum, coherentTrained, coherentCold float64
+	for _, id := range warm {
+		trained := m.SimilarItems(id, k)
+		qv := m.ColdStartItemVector(siIDs(ds, id))
+		inferred := m.SimilarToVector(qv, k, func(c int32) bool { return c == id })
+		overlapSum += jaccardTop(trained, inferred, k)
+		coherentTrained += sameTopFraction(ds, id, trained)
+		coherentCold += sameTopFraction(ds, id, inferred)
+	}
+	nw := float64(len(warm))
+	fmt.Fprintf(out, "warm items sampled: %d\n", len(warm))
+	fmt.Fprintf(out, "trained-vs-Eq6 top-%d overlap: %.1f%%\n", k, 100*overlapSum/nw)
+	fmt.Fprintf(out, "same-top-category fraction: trained %.1f%%, Eq6 %.1f%%\n",
+		100*coherentTrained/nw, 100*coherentCold/nw)
+
+	// True cold items: Eq. 6 is the only option; recommendations should
+	// stay in the item's own category neighbourhood.
+	var coldCoherent float64
+	nCold := 0
+	for _, id := range cs.cold {
+		if nCold >= 300 {
+			break
+		}
+		qv := m.ColdStartItemVector(siIDs(ds, id))
+		recs := m.SimilarToVector(qv, k, func(c int32) bool { return c == id })
+		coldCoherent += sameTopFraction(ds, id, recs)
+		nCold++
+	}
+	fmt.Fprintf(out, "cold items sampled: %d; Eq6 same-top-category fraction: %.1f%%\n",
+		nCold, 100*coldCoherent/float64(nCold))
+
+	// A concrete example, Figure 6 style.
+	if len(cs.cold) > 0 {
+		id := cs.cold[len(cs.cold)/2]
+		it := ds.Catalog.Items[id]
+		fmt.Fprintf(out, "\nexample cold item item_%d (top %d, leaf %d, brand %d):\n", id, it.Top, it.Leaf, it.Brand)
+		qv := m.ColdStartItemVector(siIDs(ds, id))
+		for i, r := range m.SimilarToVector(qv, 6, func(c int32) bool { return c == id }) {
+			rt := ds.Catalog.Items[r.ID]
+			fmt.Fprintf(out, "  #%d item_%d (top %d, leaf %d, brand %d, score %.3f)\n",
+				i+1, r.ID, rt.Top, rt.Leaf, rt.Brand, r.Score)
+		}
+	}
+	return nil
+}
+
+func siIDs(ds *corpus.Dataset, id int32) [corpus.NumSIColumns]int32 {
+	return ds.Dict.ItemSI[id]
+}
+
+func sameTopFraction(ds *corpus.Dataset, query int32, recs []knn.Result) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	top := ds.Catalog.Items[query].Top
+	n := 0
+	for _, r := range recs {
+		if ds.Catalog.Items[r.ID].Top == top {
+			n++
+		}
+	}
+	return float64(n) / float64(len(recs))
+}
+
+// warmSample returns up to n trained (non-cold) item IDs with decent
+// training frequency, spread deterministically over the catalog.
+func warmSample(ds *corpus.Dataset, cold []int32, n int) []int32 {
+	isCold := map[int32]bool{}
+	for _, c := range cold {
+		isCold[c] = true
+	}
+	type cand struct {
+		id  int32
+		cnt uint64
+	}
+	var cands []cand
+	for i := 0; i < ds.Dict.NumItems; i++ {
+		if !isCold[int32(i)] && ds.Dict.Count(int32(i)) >= 5 {
+			cands = append(cands, cand{int32(i), ds.Dict.Count(int32(i))})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].cnt > cands[b].cnt })
+	step := 1
+	if len(cands) > n {
+		step = len(cands) / n
+	}
+	var out []int32
+	for i := 0; i < len(cands) && len(out) < n; i += step {
+		out = append(out, cands[i].id)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"io"
+
+	"sisg/internal/corpus"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table III — HR@K of SISG variants vs SGNS/EGES/CF (next-item, Sim25K)",
+		Run: func(out, log io.Writer, quick bool, seed uint64) error {
+			cfg := DefaultTable3()
+			if quick {
+				cfg.Corpus = quickCorpus()
+				cfg.Train.Epochs = 2
+			}
+			if seed != 0 {
+				cfg.Corpus.Seed = seed
+			}
+			res, err := RunTable3(cfg, log)
+			if err != nil {
+				return err
+			}
+			res.Write(out, cfg.Ks)
+			return nil
+		},
+	})
+}
+
+// quickCorpus is a reduced Sim25K used by -quick runs and unit tests:
+// ~4k items, ~30k sessions, trains all six variants in a few seconds.
+func quickCorpus() corpus.Config {
+	c := corpus.Sim25K()
+	c.Name = "SimQuick"
+	c.NumItems = 20_000
+	c.NumLeafCats = 300
+	c.NumShops = 1_500
+	c.NumBrands = 400
+	c.NumSessions = 18_000
+	return c
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"io"
+)
+
+// Experiment is one reproducible table/figure driver.
+type Experiment struct {
+	ID    string // e.g. "table3", "fig7a"
+	Title string
+	// Run writes the rendered table/series to out and progress to log.
+	// quick shrinks the workload; seed overrides the corpus seed when
+	// non-zero.
+	Run func(out, log io.Writer, quick bool, seed uint64) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Registry returns all experiments in registration (paper) order.
+func Registry() []Experiment { return registry }

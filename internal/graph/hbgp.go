@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sisg/internal/rng"
+)
+
+// Partition assigns items to workers.
+type Partition struct {
+	// Of maps item ID -> worker index.
+	Of []int32
+	// LeafOf maps leaf category -> worker index (HBGP only; nil for the
+	// baseline partitioners).
+	LeafOf []int32
+	// W is the number of workers.
+	W int
+	// Loads is the summed item frequency per worker.
+	Loads []float64
+	// BetaUsed is the imbalance parameter the HBGP relaxation loop ended
+	// with (§III-B step 3e); equals the input beta unless relaxed.
+	BetaUsed float64
+}
+
+// Imbalance returns max(load)/mean(load) — 1.0 is perfectly balanced.
+func (p *Partition) Imbalance() float64 {
+	if len(p.Loads) == 0 {
+		return 0
+	}
+	total, max := 0.0, 0.0
+	for _, l := range p.Loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	mean := total / float64(len(p.Loads))
+	if mean == 0 {
+		return 0
+	}
+	return max / mean
+}
+
+// CutFraction returns the fraction of the graph's transition weight that
+// crosses partitions — exactly the probability that a sampled training pair
+// needs a remote TNS call (§III-B's communication-cost objective).
+func (p *Partition) CutFraction(g *Graph) float64 {
+	var cut, total float64
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, e := range g.Out(v) {
+			total += e.Weight
+			if p.Of[v] != p.Of[e.To] {
+				cut += e.Weight
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return cut / total
+}
+
+// HBGP runs the paper's Heuristic Balanced Graph Partitioning:
+//
+//  1. reduce the item graph to a leaf-category graph whose edge weights sum
+//     the item transition frequencies between the two categories,
+//  2. iteratively merge the pair of category groups joined by the heaviest
+//     (bidirectional) edge, subject to the balance constraint
+//     |C1|+|C2| ≤ β·|V|/w where |V| is the total item frequency,
+//  3. if no edge satisfies the constraint, relax β and repeat,
+//  4. stop at w groups; each group becomes one worker's partition.
+//
+// leafOf maps item -> leaf category; itemFreq is each item's occurrence
+// count in the training sequences.
+func HBGP(g *Graph, leafOf []int32, numLeaves int, itemFreq []float64, w int, beta float64) (*Partition, error) {
+	if w <= 0 {
+		return nil, errors.New("graph: HBGP needs w > 0")
+	}
+	if beta < 1 {
+		return nil, errors.New("graph: HBGP needs beta >= 1")
+	}
+	if len(leafOf) != g.N() || len(itemFreq) != g.N() {
+		return nil, fmt.Errorf("graph: HBGP input lengths mismatch (items=%d leafOf=%d freq=%d)",
+			g.N(), len(leafOf), len(itemFreq))
+	}
+	if numLeaves < w {
+		return nil, fmt.Errorf("graph: HBGP needs at least w=%d leaf categories, have %d", w, numLeaves)
+	}
+
+	// Step 1-2: leaf-category graph. groupEdge[a][b] holds the summed
+	// bidirectional weight between groups a < b.
+	size := make([]float64, numLeaves)
+	var totalFreq float64
+	for it := 0; it < g.N(); it++ {
+		size[leafOf[it]] += itemFreq[it]
+		totalFreq += itemFreq[it]
+	}
+	// nbr holds the bidirectional (summed both directions, per §III-B 3a)
+	// adjacency between group representatives. It is kept canonical: keys
+	// are always current representatives, and weights of parallel edges
+	// combine on merge.
+	nbr := make([]map[int32]float64, numLeaves)
+	addNbr := func(a, b int32, w float64) {
+		if a == b {
+			return
+		}
+		if nbr[a] == nil {
+			nbr[a] = make(map[int32]float64, 8)
+		}
+		nbr[a][b] += w
+		if nbr[b] == nil {
+			nbr[b] = make(map[int32]float64, 8)
+		}
+		nbr[b][a] += w
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		la := leafOf[v]
+		for _, e := range g.Out(v) {
+			addNbr(la, leafOf[e.To], e.Weight)
+		}
+	}
+
+	// Union-find over leaf groups.
+	parent := make([]int32, numLeaves)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	groups := numLeaves
+
+	// Step 3: merge until w groups remain, relaxing beta when stuck.
+	capacity := func(b float64) float64 { return b * totalFreq / float64(w) }
+	b := beta
+	for groups > w {
+		// Find the heaviest mergeable edge (ties: lower indices, for
+		// determinism).
+		var bestA, bestB int32 = -1, -1
+		bestW := 0.0
+		for a := int32(0); a < int32(numLeaves); a++ {
+			if parent[a] != a || nbr[a] == nil {
+				continue
+			}
+			for bb, wgt := range nbr[a] {
+				if bb < a {
+					continue // visit each undirected edge once, from its low end
+				}
+				if wgt < bestW || (wgt == bestW && bestA >= 0 && !(a < bestA || (a == bestA && bb < bestB))) {
+					continue
+				}
+				if size[a]+size[bb] > capacity(b) {
+					continue
+				}
+				bestA, bestB, bestW = a, bb, wgt
+			}
+		}
+		if bestA < 0 {
+			// Step 3e: no mergeable edge. Relax beta; if beta is already
+			// huge, merge the two smallest groups (disconnected graph).
+			if b < 64*beta {
+				b *= 1.25
+				continue
+			}
+			bestA, bestB = twoSmallest(size, parent, numLeaves, find)
+			if bestA < 0 {
+				break
+			}
+		}
+		// Merge bestB into bestA, re-homing bestB's edges canonically.
+		parent[bestB] = bestA
+		size[bestA] += size[bestB]
+		size[bestB] = 0
+		for to, w := range nbr[bestB] {
+			delete(nbr[to], bestB)
+			if to == bestA {
+				continue
+			}
+			addNbr(bestA, to, w)
+		}
+		nbr[bestB] = nil
+		groups--
+	}
+
+	// Assign worker indices to representatives (by descending load for
+	// determinism), then items.
+	repWorker := make(map[int32]int32, w)
+	reps := make([]int32, 0, groups)
+	seen := make(map[int32]bool, groups)
+	for l := int32(0); l < int32(numLeaves); l++ {
+		r := find(l)
+		if !seen[r] {
+			seen[r] = true
+			reps = append(reps, r)
+		}
+	}
+	for i, r := range reps {
+		repWorker[r] = int32(i % w)
+	}
+
+	p := &Partition{
+		Of:       make([]int32, g.N()),
+		LeafOf:   make([]int32, numLeaves),
+		W:        w,
+		Loads:    make([]float64, w),
+		BetaUsed: b,
+	}
+	for l := int32(0); l < int32(numLeaves); l++ {
+		p.LeafOf[l] = repWorker[find(l)]
+	}
+	for it := 0; it < g.N(); it++ {
+		wk := p.LeafOf[leafOf[it]]
+		p.Of[it] = wk
+		p.Loads[wk] += itemFreq[it]
+	}
+	return p, nil
+}
+
+func twoSmallest(size []float64, parent []int32, n int, find func(int32) int32) (int32, int32) {
+	var a, b int32 = -1, -1
+	for i := int32(0); i < int32(n); i++ {
+		if find(i) != i {
+			continue
+		}
+		switch {
+		case a < 0 || size[i] < size[a]:
+			b = a
+			a = i
+		case b < 0 || size[i] < size[b]:
+			b = i
+		}
+	}
+	if b < 0 {
+		return -1, -1
+	}
+	return a, b
+}
+
+// RandomPartition assigns items to workers uniformly at random — the
+// baseline HBGP is compared against in the ablation benches.
+func RandomPartition(numItems int, itemFreq []float64, w int, seed uint64) *Partition {
+	r := rng.New(seed)
+	p := &Partition{Of: make([]int32, numItems), W: w, Loads: make([]float64, w), BetaUsed: 0}
+	for i := 0; i < numItems; i++ {
+		wk := int32(r.Intn(w))
+		p.Of[i] = wk
+		p.Loads[wk] += itemFreq[i]
+	}
+	return p
+}
+
+// GreedyLoadPartition assigns items to the currently lightest worker in
+// descending frequency order: perfectly balanced but locality-blind — the
+// other ablation point.
+func GreedyLoadPartition(numItems int, itemFreq []float64, w int) *Partition {
+	p := &Partition{Of: make([]int32, numItems), W: w, Loads: make([]float64, w)}
+	order := make([]int32, numItems)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Sort by descending frequency (ties by ID for determinism).
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := itemFreq[order[a]], itemFreq[order[b]]
+		if fa != fb {
+			return fa > fb
+		}
+		return order[a] < order[b]
+	})
+	for _, it := range order {
+		wk := 0
+		for j := 1; j < w; j++ {
+			if p.Loads[j] < p.Loads[wk] {
+				wk = j
+			}
+		}
+		p.Of[it] = int32(wk)
+		p.Loads[wk] += itemFreq[it]
+	}
+	return p
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sisg/internal/rng"
+)
+
+// TestHBGPPropertyRandomGraphs checks HBGP's core invariants on randomly
+// generated item graphs: every item assigned, leaf atomicity (a leaf
+// category is never split across workers), and loads summing to the total
+// frequency.
+func TestHBGPPropertyRandomGraphs(t *testing.T) {
+	f := func(seed uint64, wRaw, leavesRaw uint8) bool {
+		r := rng.New(seed)
+		numLeaves := 4 + int(leavesRaw%12) // 4..15
+		w := 2 + int(wRaw)%3               // 2..4
+		if w > numLeaves {
+			w = numLeaves
+		}
+		numItems := numLeaves * (2 + r.Intn(6))
+
+		leafOf := make([]int32, numItems)
+		freq := make([]float64, numItems)
+		var total float64
+		for i := range leafOf {
+			leafOf[i] = int32(r.Intn(numLeaves))
+			freq[i] = float64(1 + r.Intn(50))
+			total += freq[i]
+		}
+		g := New(numItems)
+		edges := numItems * 2
+		for e := 0; e < edges; e++ {
+			a := int32(r.Intn(numItems))
+			b := int32(r.Intn(numItems))
+			g.AddEdge(a, b, float64(1+r.Intn(5)))
+		}
+		g.Finalize()
+
+		p, err := HBGP(g, leafOf, numLeaves, freq, w, 1.2)
+		if err != nil {
+			return false
+		}
+		var loadSum float64
+		for _, l := range p.Loads {
+			loadSum += l
+		}
+		if loadSum < total-1e-6 || loadSum > total+1e-6 {
+			return false
+		}
+		for i := range leafOf {
+			if p.Of[i] != p.LeafOf[leafOf[i]] {
+				return false // leaf split across workers
+			}
+			if p.Of[i] < 0 || int(p.Of[i]) >= w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCutFractionBounds checks 0 <= cut <= 1 on random partitions.
+func TestCutFractionBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + int(seed%40)
+		g := New(n)
+		for e := 0; e < n*3; e++ {
+			g.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), 1)
+		}
+		g.Finalize()
+		freq := make([]float64, n)
+		for i := range freq {
+			freq[i] = 1
+		}
+		p := RandomPartition(n, freq, 4, seed)
+		c := p.CutFraction(g)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWalkStaysOnEdges verifies every step of a random walk follows an
+// existing directed edge.
+func TestWalkStaysOnEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + int(seed%20)
+		g := New(n)
+		for e := 0; e < n*2; e++ {
+			g.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)), float64(1+r.Intn(3)))
+		}
+		g.Finalize()
+		walk := g.Walk(int32(r.Intn(n)), 15, rng.New(seed^1))
+		for i := 0; i+1 < len(walk); i++ {
+			if g.Weight(walk[i], walk[i+1]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

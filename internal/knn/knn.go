@@ -1,0 +1,143 @@
+// Package knn provides exact top-K retrieval over embedding matrices — the
+// matching stage's candidate generation ("the K most similar items",
+// §IV-A). Production systems put an ANN index here; for the corpus sizes in
+// this reproduction an exact, parallel brute-force scan is both simpler and
+// fast enough, and it removes retrieval error from the HitRate comparison
+// between model variants.
+package knn
+
+import (
+	"container/heap"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sisg/internal/emb"
+	"sisg/internal/vecmath"
+)
+
+// Result is one retrieved neighbour.
+type Result struct {
+	ID    int32
+	Score float32
+}
+
+// Index scans rows [0, rows) of a matrix. If normalize is true the rows are
+// copied and L2-normalized so dot products become cosine similarities (the
+// symmetric-model scoring rule); if false raw dot products are returned
+// (the directed in·out scoring rule).
+type Index struct {
+	mat  *emb.Matrix
+	rows int
+}
+
+// NewIndex builds an index over the first rows rows of mat. rows <= 0 means
+// all rows. When normalize is set the matrix is copied; otherwise the index
+// holds a reference and callers must not mutate mat during searches.
+func NewIndex(mat *emb.Matrix, rows int, normalize bool) *Index {
+	if rows <= 0 || rows > mat.Rows() {
+		rows = mat.Rows()
+	}
+	if normalize {
+		mat = emb.NormalizedCopy(mat)
+	}
+	return &Index{mat: mat, rows: rows}
+}
+
+// Rows returns the number of indexed rows.
+func (ix *Index) Rows() int { return ix.rows }
+
+// Search returns the top-k rows by dot product with query, descending.
+// skip, if non-nil, excludes rows (typically the query item itself).
+// The query slice is read-only.
+func (ix *Index) Search(query []float32, k int, skip func(int32) bool) []Result {
+	if k <= 0 {
+		return nil
+	}
+	h := make(minHeap, 0, k)
+	for i := 0; i < ix.rows; i++ {
+		id := int32(i)
+		if skip != nil && skip(id) {
+			continue
+		}
+		s := vecmath.Dot(query, ix.mat.Row(id))
+		if len(h) < k {
+			heap.Push(&h, Result{ID: id, Score: s})
+		} else if s > h[0].Score {
+			h[0] = Result{ID: id, Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool {
+		if h[a].Score != h[b].Score {
+			return h[a].Score > h[b].Score
+		}
+		return h[a].ID < h[b].ID
+	})
+	return h
+}
+
+// SearchNormalized is Search with the query L2-normalized first; combined
+// with a normalized index this yields true cosine scores.
+func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool) []Result {
+	q := make([]float32, len(query))
+	copy(q, query)
+	vecmath.Normalize(q)
+	return ix.Search(q, k, skip)
+}
+
+// SearchBatch runs Search for many queries in parallel and returns results
+// in query order. skip receives (queryIndex, candidateID).
+func (ix *Index) SearchBatch(queries [][]float32, k int, skip func(int, int32) bool) [][]Result {
+	out := make([][]Result, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		return int(next)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i >= len(queries) {
+					return
+				}
+				var sk func(int32) bool
+				if skip != nil {
+					sk = func(id int32) bool { return skip(i, id) }
+				}
+				out[i] = ix.Search(queries[i], k, sk)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// minHeap keeps the k best results with the worst at the root.
+type minHeap []Result
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,207 @@
+// Package server implements the matching-stage HTTP service: the
+// production surface that hands candidate sets to the ranking stage. It
+// covers the paper's three retrieval paths — item-to-item similarity (§II),
+// cold-start items via Eq. 6 (§IV-C2) and cold-start users via user-type
+// averaging (§IV-C1) — plus liveness and serving statistics.
+//
+// The package is the testable core behind cmd/sisg-server.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"sisg/internal/corpus"
+	"sisg/internal/knn"
+	"sisg/internal/sisg"
+)
+
+// Candidate is one entry of a served candidate set, carrying enough catalog
+// metadata for a downstream ranker.
+type Candidate struct {
+	Item  int32   `json:"item"`
+	Score float32 `json:"score"`
+	Leaf  int32   `json:"leaf"`
+	Brand int32   `json:"brand"`
+	Tier  int8    `json:"tier"`
+}
+
+// Stats are cumulative serving counters, exposed at /stats.
+type Stats struct {
+	Similar      uint64 `json:"similar"`
+	ColdItem     uint64 `json:"cold_item"`
+	ColdUser     uint64 `json:"cold_user"`
+	ClientErrors uint64 `json:"client_errors"`
+}
+
+// Server serves one trained model over one catalog.
+type Server struct {
+	ds    *corpus.Dataset
+	model *sisg.Model
+	maxK  int
+
+	similar      atomic.Uint64
+	coldItem     atomic.Uint64
+	coldUser     atomic.Uint64
+	clientErrors atomic.Uint64
+}
+
+// New returns a server for the given dataset and model. maxK bounds the
+// candidate-set size a single request may ask for (<=0 means 1000).
+func New(ds *corpus.Dataset, model *sisg.Model, maxK int) *Server {
+	if maxK <= 0 {
+		maxK = 1000
+	}
+	return &Server{ds: ds, model: model, maxK: maxK}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/similar", s.handleSimilar)
+	mux.HandleFunc("/coldstart/item", s.handleColdItem)
+	mux.HandleFunc("/coldstart/user", s.handleColdUser)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Similar:      s.similar.Load(),
+		ColdItem:     s.coldItem.Load(),
+		ColdUser:     s.coldUser.Load(),
+		ClientErrors: s.clientErrors.Load(),
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"status":  "ok",
+		"variant": s.model.Variant.Name,
+		"items":   s.ds.Dict.NumItems,
+		"vocab":   s.ds.Dict.Len(),
+		"dim":     s.model.Emb.Dim(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	item, k, ok := s.itemAndK(w, r)
+	if !ok {
+		return
+	}
+	s.similar.Add(1)
+	s.writeCandidates(w, s.model.SimilarItems(item, k))
+}
+
+func (s *Server) handleColdItem(w http.ResponseWriter, r *http.Request) {
+	item, k, ok := s.itemAndK(w, r)
+	if !ok {
+		return
+	}
+	s.coldItem.Add(1)
+	qv := s.model.ColdStartItemVector(s.ds.Dict.ItemSI[item])
+	s.writeCandidates(w, s.model.SimilarToVector(qv, k, func(id int32) bool { return id == item }))
+}
+
+func (s *Server) handleColdUser(w http.ResponseWriter, r *http.Request) {
+	k, ok := s.kParam(w, r)
+	if !ok {
+		return
+	}
+	gender := -1
+	if g := r.URL.Query().Get("gender"); g != "" {
+		for i, name := range corpus.Genders {
+			if name == g {
+				gender = i
+			}
+		}
+		if gender < 0 {
+			s.clientError(w, "unknown gender %q (want F, M or null)", g)
+			return
+		}
+	}
+	age, ok := intParam(r, "age", -1)
+	if !ok {
+		s.clientError(w, "age is not an integer")
+		return
+	}
+	power, ok := intParam(r, "power", -1)
+	if !ok {
+		s.clientError(w, "power is not an integer")
+		return
+	}
+	types := s.ds.Pop.TypesMatching(gender, age, power)
+	recs, err := s.model.RecommendForColdUser(types, k)
+	if err != nil {
+		s.clientError(w, "%v", err)
+		return
+	}
+	s.coldUser.Add(1)
+	s.writeCandidates(w, recs)
+}
+
+func (s *Server) itemAndK(w http.ResponseWriter, r *http.Request) (int32, int, bool) {
+	item, ok := intParam(r, "item", -1)
+	if !ok {
+		s.clientError(w, "item is not an integer")
+		return 0, 0, false
+	}
+	if item < 0 || item >= s.ds.Dict.NumItems {
+		s.clientError(w, "item out of range [0,%d)", s.ds.Dict.NumItems)
+		return 0, 0, false
+	}
+	k, kok := s.kParam(w, r)
+	return int32(item), k, kok
+}
+
+func (s *Server) kParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	k, ok := intParam(r, "k", 20)
+	if !ok || k <= 0 || k > s.maxK {
+		s.clientError(w, "k must be an integer in (0,%d]", s.maxK)
+		return 0, false
+	}
+	return k, true
+}
+
+func (s *Server) writeCandidates(w http.ResponseWriter, recs []knn.Result) {
+	out := make([]Candidate, len(recs))
+	for i, r := range recs {
+		it := s.ds.Catalog.Items[r.ID]
+		out[i] = Candidate{Item: r.ID, Score: r.Score, Leaf: it.Leaf, Brand: it.Brand, Tier: it.Tier}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) clientError(w http.ResponseWriter, format string, args ...interface{}) {
+	s.clientErrors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+}
+
+// intParam returns the integer query parameter, the default when absent,
+// and ok=false when present but unparseable (a client error, never a
+// silent fallback).
+func intParam(r *http.Request, name string, def int) (int, bool) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,79 @@
+package sgns
+
+import (
+	"testing"
+
+	"sisg/internal/emb"
+	"sisg/internal/rng"
+)
+
+func TestResumeErrors(t *testing.T) {
+	d, seqs := clusterCorpus(4, 20, 1)
+	opt := testOptions()
+	if _, err := Resume(nil, d, seqs, opt); err == nil {
+		t.Error("nil model accepted")
+	}
+	wrongVocab := emb.NewModel(3, opt.Dim, rng.New(1))
+	if _, err := Resume(wrongVocab, d, seqs, opt); err == nil {
+		t.Error("vocab mismatch accepted")
+	}
+	wrongDim := emb.NewModel(d.Len(), opt.Dim+1, rng.New(1))
+	if _, err := Resume(wrongDim, d, seqs, opt); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// TestResumeWarmStart verifies the daily-update path: a model warm-started
+// from a converged predecessor reaches good structure with ONE incremental
+// epoch, while a cold model given the same single epoch lags behind.
+func TestResumeWarmStart(t *testing.T) {
+	d, day1 := clusterCorpus(10, 500, 21)
+	_, day2 := clusterCorpus(10, 500, 22) // same structure, fresh sessions
+
+	clusterScore := func(m *emb.Model) float64 {
+		var within, across float64
+		var nw, na int
+		for a := int32(0); a < 10; a++ {
+			for b := a + 1; b < 20; b++ {
+				c := float64(m.ScoreCosine(a, b))
+				if b < 10 {
+					within += c
+					nw++
+				} else {
+					across += c
+					na++
+				}
+			}
+		}
+		return within/float64(nw) - across/float64(na)
+	}
+
+	full := testOptions()
+	base, _, err := Train(d, day1, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	incr := testOptions()
+	incr.Epochs = 1
+	incr.LR = 0.01 // the usual lower LR for incremental passes
+	st, err := Resume(base, d, day2, incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs == 0 {
+		t.Fatal("resume trained nothing")
+	}
+	warm := clusterScore(base)
+
+	coldOpt := testOptions()
+	coldOpt.Epochs = 1
+	cold, _, err := Train(d, day2, coldOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm <= clusterScore(cold) {
+		t.Fatalf("warm start (%.3f) no better than cold single epoch (%.3f)",
+			warm, clusterScore(cold))
+	}
+}

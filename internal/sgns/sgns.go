@@ -1,0 +1,369 @@
+// Package sgns implements Skip-Gram with Negative Sampling — the word2vec
+// core (§II-A of the paper) that every SISG variant, and the EGES baseline's
+// random-walk stage, trains with.
+//
+// The trainer is deliberately faithful to the original word2vec recipe the
+// paper builds on: per-position randomly reduced windows, Mikolov
+// subsampling of frequent tokens, unigram^α negative sampling, linear
+// learning-rate decay, and lock-free Hogwild parallelism across sequence
+// shards. Two paper-specific extensions are threaded through:
+//
+//   - Directed windows (§II-C): when Options.Directed is set, skip-grams are
+//     sampled only from the RIGHT context window, preserving the click
+//     order; the matching serving-time change (scoring in·out) lives in
+//     internal/emb and internal/knn.
+//   - Aggressive SI subsampling (§III-A): non-item tokens can be subsampled
+//     harder than items via Options.SIBoost.
+package sgns
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sisg/internal/alias"
+	"sisg/internal/emb"
+	"sisg/internal/rng"
+	"sisg/internal/vecmath"
+	"sisg/internal/vocab"
+)
+
+// Options configures a training run. The zero value is not valid; start
+// from Defaults.
+type Options struct {
+	Dim        int     // embedding dimension (paper: 128; experiments here: 32)
+	Window     int     // maximum context window, in enriched-token units
+	Negatives  int     // negatives per positive pair (paper production: 20)
+	Epochs     int     // full passes over the corpus (paper: 2)
+	LR         float32 // initial learning rate
+	MinLRFrac  float32 // final LR as a fraction of LR (word2vec: 1e-4)
+	SubsampleT float64 // subsampling threshold t; 0 disables
+	SIBoost    float64 // multiplier on keep-prob of non-item tokens (≤1 = more aggressive)
+	NoiseAlpha float64 // unigram exponent for negative sampling (paper: 0.75)
+	// Stride makes the randomly reduced window a multiple of a token
+	// stride. SI-enriched sequences place 1+NumSIColumns tokens per item;
+	// reducing the window below that stride would starve item→item pairs,
+	// so SISG sets Stride to the per-item token count ("we can adjust the
+	// window size, such that all possible pairs per sequence are sampled",
+	// §III-C). 0 or 1 means plain word2vec reduction.
+	Stride   int
+	Directed bool // sample right context window only (§II-C)
+	Workers  int  // Hogwild shards; 0 = GOMAXPROCS
+	Seed     uint64
+}
+
+// Defaults returns the option set used by the offline experiments.
+func Defaults() Options {
+	return Options{
+		Dim:        32,
+		Window:     5,
+		Negatives:  5,
+		Epochs:     2,
+		LR:         0.025,
+		MinLRFrac:  1e-4,
+		SubsampleT: 1e-3,
+		SIBoost:    0.5,
+		NoiseAlpha: 0.75,
+		Workers:    0,
+		Seed:       1,
+	}
+}
+
+// Validate reports the first invalid option.
+func (o *Options) Validate() error {
+	switch {
+	case o.Dim <= 0:
+		return errors.New("sgns: Dim must be positive")
+	case o.Window <= 0:
+		return errors.New("sgns: Window must be positive")
+	case o.Negatives < 0:
+		return errors.New("sgns: Negatives must be non-negative")
+	case o.Epochs <= 0:
+		return errors.New("sgns: Epochs must be positive")
+	case o.LR <= 0:
+		return errors.New("sgns: LR must be positive")
+	case o.SIBoost < 0 || o.SIBoost > 1:
+		return errors.New("sgns: SIBoost out of [0,1]")
+	case o.NoiseAlpha <= 0:
+		return errors.New("sgns: NoiseAlpha must be positive")
+	}
+	return nil
+}
+
+// Stats reports what a training run did.
+type Stats struct {
+	Pairs       uint64        // positive pairs trained
+	Updates     uint64        // pairs × (1+negatives)
+	Tokens      uint64        // tokens consumed after subsampling
+	Elapsed     time.Duration // wall time of the training phase
+	FinalLR     float32
+	WorkersUsed int
+}
+
+// TokensPerSec returns throughput in consumed tokens per second.
+func (s Stats) TokensPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Tokens) / s.Elapsed.Seconds()
+}
+
+// Train learns a model over the given token-ID sequences. Sequences must
+// index into dict. The returned model has one row per dictionary token.
+func Train(dict *vocab.Dict, seqs [][]int32, opt Options) (*emb.Model, Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if dict.Len() == 0 {
+		return nil, Stats{}, errors.New("sgns: empty vocabulary")
+	}
+	model := emb.NewModel(dict.Len(), opt.Dim, rng.New(opt.Seed))
+	st, err := trainInto(model, dict, seqs, opt)
+	return model, st, err
+}
+
+// Resume continues training an EXISTING model on new sequences — the
+// warm-start path behind the paper's daily-update requirement ("all
+// (possibly billions) embeddings may be computed on a daily basis"):
+// yesterday's model plus today's sessions converges in a fraction of a
+// cold start's epochs. Callers typically lower opt.LR for the incremental
+// pass. The model is updated in place.
+func Resume(model *emb.Model, dict *vocab.Dict, seqs [][]int32, opt Options) (Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if model == nil {
+		return Stats{}, errors.New("sgns: nil model")
+	}
+	if model.Vocab() != dict.Len() {
+		return Stats{}, fmt.Errorf("sgns: model has %d rows, dictionary %d tokens", model.Vocab(), dict.Len())
+	}
+	if model.Dim() != opt.Dim {
+		return Stats{}, fmt.Errorf("sgns: model dim %d, options dim %d", model.Dim(), opt.Dim)
+	}
+	return trainInto(model, dict, seqs, opt)
+}
+
+// trainInto runs the training loop against an existing model.
+func trainInto(model *emb.Model, dict *vocab.Dict, seqs [][]int32, opt Options) (Stats, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seqs) && len(seqs) > 0 {
+		workers = len(seqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	master := rng.New(opt.Seed ^ 0x5e55e)
+
+	// Count token frequencies over the sequences actually being trained on.
+	// The dictionary's counts reflect the fully enriched corpus; a variant
+	// that trains on item-only sequences must draw negatives from (and
+	// subsample by) the distribution of ITS corpus, exactly as word2vec
+	// builds its vocabulary from its input — otherwise most negative
+	// samples are tokens the corpus never contains and output vectors see
+	// no real negative pressure.
+	counts := make([]uint64, dict.Len())
+	var corpusTokens uint64
+	for _, s := range seqs {
+		for _, t := range s {
+			counts[t]++
+		}
+		corpusTokens += uint64(len(s))
+	}
+
+	noise, err := alias.New(noiseWeights(counts, opt.NoiseAlpha))
+	if err != nil {
+		return Stats{}, fmt.Errorf("sgns: noise distribution: %w", err)
+	}
+	var keep []float32
+	if opt.SubsampleT > 0 {
+		keep = subsampleKeepProbs(dict, counts, corpusTokens, opt.SubsampleT, opt.SIBoost)
+	}
+
+	// Linear LR decay over the estimated total number of consumed tokens.
+	totalTokens := corpusTokens * uint64(opt.Epochs)
+	if totalTokens == 0 {
+		totalTokens = 1
+	}
+
+	var (
+		doneTokens atomic.Uint64
+		pairs      atomic.Uint64
+		updates    atomic.Uint64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int, r *rng.RNG) {
+			defer wg.Done()
+			ws := workerState{
+				model: model, noise: noise, keep: keep, opt: &opt, r: r,
+				grad: make([]float32, opt.Dim),
+				kept: make([]int32, 0, 64),
+			}
+			for epoch := 0; epoch < opt.Epochs; epoch++ {
+				for i := shard; i < len(seqs); i += workers {
+					ws.trainSequence(seqs[i], &doneTokens, totalTokens)
+				}
+			}
+			pairs.Add(ws.pairs)
+			updates.Add(ws.updates)
+		}(w, master.Split())
+	}
+	wg.Wait()
+
+	st := Stats{
+		Pairs:       pairs.Load(),
+		Updates:     updates.Load(),
+		Tokens:      doneTokens.Load(),
+		Elapsed:     time.Since(start),
+		WorkersUsed: workers,
+	}
+	st.FinalLR = decayLR(opt.LR, opt.MinLRFrac, st.Tokens, totalTokens)
+	return st, nil
+}
+
+// noiseWeights returns count^alpha per token (P_noise(v) ∝ freq(v)^α,
+// §III-C); zero-count tokens get zero weight and are never drawn.
+func noiseWeights(counts []uint64, alpha float64) []float64 {
+	w := make([]float64, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			w[i] = math.Pow(float64(c), alpha)
+		}
+	}
+	return w
+}
+
+// subsampleKeepProbs computes Mikolov keep probabilities over the training
+// corpus counts, multiplying non-item tokens by siBoost (the paper's
+// "aggressive" SI downsampling).
+func subsampleKeepProbs(dict *vocab.Dict, counts []uint64, total uint64, t, siBoost float64) []float32 {
+	p := make([]float32, len(counts))
+	for i := range counts {
+		if counts[i] == 0 || total == 0 {
+			p[i] = 1
+			continue
+		}
+		f := float64(counts[i]) / float64(total)
+		keep := math.Sqrt(t/f) + t/f
+		if keep > 1 {
+			keep = 1
+		}
+		if dict.KindOf(int32(i)) != vocab.KindItem {
+			keep *= siBoost
+		}
+		p[i] = float32(keep)
+	}
+	return p
+}
+
+func decayLR(lr0, minFrac float32, done, total uint64) float32 {
+	f := 1 - float32(float64(done)/float64(total))
+	if f < minFrac {
+		f = minFrac
+	}
+	return lr0 * f
+}
+
+// workerState is one Hogwild shard's scratch space.
+type workerState struct {
+	model   *emb.Model
+	noise   *alias.Table
+	keep    []float32
+	opt     *Options
+	r       *rng.RNG
+	grad    []float32
+	kept    []int32
+	pairs   uint64
+	updates uint64
+	lr      float32
+}
+
+// trainSequence consumes one sequence: subsample, then slide the (reduced)
+// window and train each pair.
+func (ws *workerState) trainSequence(seq []int32, doneTokens *atomic.Uint64, totalTokens uint64) {
+	opt := ws.opt
+	kept := ws.kept[:0]
+	for _, t := range seq {
+		if ws.keep != nil && ws.r.Float32() >= ws.keep[t] {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	ws.kept = kept
+	done := doneTokens.Add(uint64(len(seq)))
+	ws.lr = decayLR(opt.LR, opt.MinLRFrac, done, totalTokens)
+	if len(kept) < 2 {
+		return
+	}
+	stride := opt.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	steps := opt.Window / stride
+	if steps < 1 {
+		steps = 1
+	}
+	for i := range kept {
+		// word2vec-style reduced window, in stride units:
+		// uniform over {stride, 2*stride, ..., steps*stride}.
+		win := stride * (1 + ws.r.Intn(steps))
+		lo := i - win
+		if opt.Directed || lo < 0 {
+			lo = i // directed: no left context
+		}
+		hi := i + win
+		if hi >= len(kept) {
+			hi = len(kept) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			ws.trainPair(kept[i], kept[j])
+		}
+	}
+}
+
+// trainPair applies one SGNS update: the positive (target, context) pair
+// plus Negatives samples from the noise distribution. Gradients w.r.t. the
+// input vector are accumulated and applied once, per the original word2vec.
+func (ws *workerState) trainPair(target, ctx int32) {
+	m := ws.model
+	opt := ws.opt
+	v := m.In.Row(target)
+	grad := ws.grad
+	vecmath.Zero(grad)
+
+	// Positive sample: label 1.
+	c := m.Out.Row(ctx)
+	g := (1 - vecmath.Sigmoid(vecmath.Dot(v, c))) * ws.lr
+	vecmath.Axpy(g, c, grad)
+	vecmath.Axpy(g, v, c)
+
+	// Negative samples: label 0. A draw equal to the true context is
+	// rejected, as in word2vec.
+	for n := 0; n < opt.Negatives; n++ {
+		t := int32(ws.noise.Sample(ws.r))
+		if t == ctx {
+			continue
+		}
+		c := m.Out.Row(t)
+		g := (0 - vecmath.Sigmoid(vecmath.Dot(v, c))) * ws.lr
+		vecmath.Axpy(g, c, grad)
+		vecmath.Axpy(g, v, c)
+	}
+	vecmath.Add(grad, v)
+	ws.pairs++
+	ws.updates += uint64(1 + opt.Negatives)
+}

@@ -1,0 +1,93 @@
+package sisg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sisg/internal/corpus"
+	"sisg/internal/rng"
+	"sisg/internal/vocab"
+)
+
+// TestEnrichProperty checks Eq. 4's structural invariants on random
+// sessions for every variant: items appear in click order at stride
+// positions, every injected token is the correct SI/user-type ID, and the
+// output length is exactly determined by the variant flags.
+func TestEnrichProperty(t *testing.T) {
+	ds, err := corpus.Generate(corpus.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	numItems := int32(ds.Dict.NumItems)
+	numTypes := int32(len(ds.Pop.Types))
+
+	f := func(seed uint64, lenRaw uint8) bool {
+		r := rng.New(seed)
+		n := 1 + int(lenRaw%15)
+		s := corpus.Session{
+			UserType: int32(r.Intn(int(numTypes))),
+			Items:    make([]int32, n),
+		}
+		for i := range s.Items {
+			s.Items[i] = int32(r.Intn(int(numItems)))
+		}
+		for _, v := range Variants() {
+			seq := Enrich(ds.Dict, []corpus.Session{s}, v)[0]
+			stride := 1
+			if v.UseSI {
+				stride = 1 + corpus.NumSIColumns
+			}
+			wantLen := n * stride
+			if v.UseUserType {
+				wantLen++
+			}
+			if len(seq) != wantLen {
+				return false
+			}
+			for i, it := range s.Items {
+				if seq[i*stride] != it {
+					return false
+				}
+				if v.UseSI {
+					for col := 0; col < corpus.NumSIColumns; col++ {
+						if seq[i*stride+1+col] != ds.Dict.ItemSI[it][col] {
+							return false
+						}
+						if ds.Dict.KindOf(seq[i*stride+1+col]) != vocab.KindSI {
+							return false
+						}
+					}
+				}
+			}
+			if v.UseUserType {
+				last := seq[len(seq)-1]
+				if last != ds.Dict.UserType[s.UserType] {
+					return false
+				}
+				if ds.Dict.KindOf(last) != vocab.KindUserType {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnrichEmptySessions confirms degenerate inputs are handled.
+func TestEnrichEmptySessions(t *testing.T) {
+	ds, err := corpus.Generate(corpus.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Enrich(ds.Dict, nil, VariantSISGFUD); len(got) != 0 {
+		t.Fatalf("nil sessions: %v", got)
+	}
+	empty := []corpus.Session{{UserType: 0, Items: nil}}
+	seq := Enrich(ds.Dict, empty, VariantSISGFUD)[0]
+	if len(seq) != 1 || seq[0] != ds.Dict.UserType[0] {
+		t.Fatalf("empty session enrichment: %v", seq)
+	}
+}

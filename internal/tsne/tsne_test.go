@@ -1,0 +1,113 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"sisg/internal/rng"
+)
+
+// twoClusters builds n points per cluster around two well-separated
+// centers in dim dimensions.
+func twoClusters(n, dim int, seed uint64) ([][]float32, []int) {
+	r := rng.New(seed)
+	var x [][]float32
+	var labels []int
+	for c := 0; c < 2; c++ {
+		center := float32(c) * 10
+		for i := 0; i < n; i++ {
+			v := make([]float32, dim)
+			for d := range v {
+				v[d] = center + float32(r.NormFloat64())*0.5
+			}
+			x = append(x, v)
+			labels = append(labels, c)
+		}
+	}
+	return x, labels
+}
+
+func TestEmbedErrors(t *testing.T) {
+	x, _ := twoClusters(2, 3, 1)
+	if _, err := Embed(x[:3], Defaults()); err == nil {
+		t.Error("too few points accepted")
+	}
+	opt := Defaults()
+	opt.Perplexity = 0
+	if _, err := Embed(x, opt); err == nil {
+		t.Error("zero perplexity accepted")
+	}
+	opt = Defaults()
+	opt.Perplexity = 1000
+	if _, err := Embed(x, opt); err == nil {
+		t.Error("perplexity >= n accepted")
+	}
+	opt = Defaults()
+	opt.Iterations = 0
+	if _, err := Embed(x, opt); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	x, labels := twoClusters(30, 8, 7)
+	opt := Defaults()
+	opt.Perplexity = 10
+	opt.Iterations = 250
+	y, err := Embed(x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != len(x) {
+		t.Fatalf("got %d points", len(y))
+	}
+	for i, p := range y {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+			t.Fatalf("point %d is NaN", i)
+		}
+	}
+	s := Silhouette(y, labels)
+	if s < 0.5 {
+		t.Fatalf("silhouette %.3f too low — clusters not separated", s)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	x, _ := twoClusters(10, 4, 3)
+	opt := Defaults()
+	opt.Perplexity = 5
+	opt.Iterations = 50
+	a, err := Embed(x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("t-SNE not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	// Two tight, far-apart groups: silhouette near 1.
+	y := [][2]float64{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}}
+	labels := []int{0, 0, 1, 1}
+	if s := Silhouette(y, labels); s < 0.9 {
+		t.Fatalf("ideal silhouette = %v", s)
+	}
+	// Swapped labels: strongly negative.
+	if s := Silhouette(y, []int{0, 1, 0, 1}); s > -0.3 {
+		t.Fatalf("misassigned silhouette = %v", s)
+	}
+	// Degenerate inputs.
+	if Silhouette(nil, nil) != 0 {
+		t.Fatal("empty silhouette")
+	}
+	if Silhouette(y, []int{0, 0, 0, 0}) != 0 {
+		t.Fatal("single-label silhouette should be 0")
+	}
+}

@@ -1,0 +1,220 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotBasic(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got := Dot(a, b); got != 35 {
+		t.Fatalf("Dot = %v, want 35", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	f := func(raw []float32) bool {
+		// Bound values to avoid float blowup obscuring the comparison.
+		a := make([]float32, len(raw))
+		b := make([]float32, len(raw))
+		for i, v := range raw {
+			x := float32(math.Mod(float64(v), 10))
+			if x != x { // NaN
+				x = 1
+			}
+			a[i] = x
+			b[i] = -x / 2
+		}
+		var want float64
+		for i := range a {
+			want += float64(a[i]) * float64(b[i])
+		}
+		got := float64(Dot(a, b))
+		return almostEq(got, want, 1e-2+math.Abs(want)*1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5, 6, 7}
+	y := []float32{1, 1, 1, 1, 1, 1, 1}
+	Axpy(2, x, y)
+	for i := range y {
+		want := 1 + 2*x[i]
+		if y[i] != want {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestScaleZeroAddMean(t *testing.T) {
+	x := []float32{2, 4, 6}
+	Scale(0.5, x)
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Fatalf("Scale: %v", x)
+	}
+	y := []float32{1, 1, 1}
+	Add(x, y)
+	if y[0] != 2 || y[1] != 3 || y[2] != 4 {
+		t.Fatalf("Add: %v", y)
+	}
+	Zero(y)
+	if y[0] != 0 || y[2] != 0 {
+		t.Fatalf("Zero: %v", y)
+	}
+	dst := make([]float32, 3)
+	Mean(dst, []float32{0, 0, 0}, []float32{2, 4, 6})
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("Mean: %v", dst)
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean of nothing did not panic")
+		}
+	}()
+	Mean(make([]float32, 2))
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	if got := Norm(v); got != 5 {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := Normalize(v); got != 5 {
+		t.Fatalf("Normalize returned %v", got)
+	}
+	if !almostEq(float64(Norm(v)), 1, 1e-6) {
+		t.Fatalf("normalized norm = %v", Norm(v))
+	}
+	z := []float32{0, 0}
+	if got := Normalize(z); got != 0 {
+		t.Fatalf("Normalize(zero) = %v", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine(a, a); !almostEq(float64(got), 1, 1e-6) {
+		t.Fatalf("self cosine = %v", got)
+	}
+	if got := Cosine(a, []float32{0, 0}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestCosineBounded(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := make([]float32, n), make([]float32, n)
+		for i := 0; i < n; i++ {
+			av := float32(math.Mod(float64(raw[i]), 100))
+			bv := float32(math.Mod(float64(raw[n+i]), 100))
+			if av != av {
+				av = 0
+			}
+			if bv != bv {
+				bv = 0
+			}
+			a[i], b[i] = av, bv
+		}
+		c := float64(Cosine(a, b))
+		return c >= -1.0001 && c <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidTable(t *testing.T) {
+	for _, x := range []float32{-10, -3, -1, -0.1, 0, 0.1, 1, 3, 10} {
+		got := float64(Sigmoid(x))
+		want := SigmoidExact(float64(x))
+		tol := 2e-3
+		if x <= -MaxExp || x >= MaxExp {
+			tol = 3e-3 // saturation boundary
+		}
+		if !almostEq(got, want, tol) {
+			t.Errorf("Sigmoid(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if Sigmoid(100) != 1 {
+		t.Error("Sigmoid should saturate to 1")
+	}
+	if Sigmoid(-100) != 0 {
+		t.Error("Sigmoid should saturate to 0")
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	prev := Sigmoid(-MaxExp)
+	for x := float32(-MaxExp); x <= MaxExp; x += 0.01 {
+		cur := Sigmoid(x)
+		if cur < prev {
+			t.Fatalf("Sigmoid not monotone at %v", x)
+		}
+		prev = cur
+	}
+}
+
+func BenchmarkDot128(b *testing.B) {
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(i) / 2
+	}
+	b.ResetTimer()
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += Dot(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkAxpy128(b *testing.B) {
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.001, x, y)
+	}
+}
+
+func BenchmarkSigmoid(b *testing.B) {
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += Sigmoid(float32(i%12) - 6)
+	}
+	_ = s
+}
