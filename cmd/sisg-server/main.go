@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sisg/internal/corpus"
@@ -34,6 +38,9 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 		maxK       = flag.Int("maxk", 1000, "largest candidate set a request may ask for")
 		seed       = flag.Uint64("seed", 0, "override corpus seed")
+		maxInFly   = flag.Int("max-inflight", 256, "concurrent requests before shedding 503s")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline")
+		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -78,10 +85,39 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(ds, model, *maxK).Handler(),
+		Addr: *addr,
+		Handler: server.NewConfigured(ds, model, server.Config{
+			MaxK:           *maxK,
+			MaxInFlight:    *maxInFly,
+			RequestTimeout: *reqTimeout,
+		}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// drain in-flight requests for up to -drain-timeout before exiting, so
+	// a rolling restart never truncates candidate sets mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving %s model for %s on %s", v.Name, cfg.Name, *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills immediately
+		log.Printf("signal received, draining for up to %s ...", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Print("drained, bye")
+	}
 }

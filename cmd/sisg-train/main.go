@@ -11,6 +11,12 @@
 //
 // Sessions are regenerated deterministically from the corpus config, or
 // read from a file produced by sisg-datagen via -sessions.
+//
+// Crash recovery: with -checkpoint-dir the trainer snapshots model and
+// progress roughly every -checkpoint-every pairs; a killed run restarted
+// with the same flags plus -resume continues from the last snapshot.
+// (-warm-start is different: it seeds a fresh run from yesterday's model,
+// the paper's daily incremental update.)
 package main
 
 import (
@@ -43,8 +49,11 @@ func main() {
 		lr         = flag.Float64("lr", 0.025, "initial learning rate")
 		workers    = flag.Int("workers", 0, "simulated distributed workers (0 = local Hogwild training)")
 		w2vOut     = flag.String("w2v", "", "optionally also export input vectors in word2vec text format")
-		resumeFrom = flag.String("resume", "", "warm-start from an existing model (daily incremental update)")
+		warmStart  = flag.String("warm-start", "", "warm-start from an existing model (daily incremental update)")
 		seed       = flag.Uint64("seed", 0, "override corpus seed (0 = config default)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for crash-recovery snapshots (empty = no checkpointing)")
+		ckptEvery  = flag.Uint64("checkpoint-every", 1_000_000, "snapshot roughly every N trained pairs")
+		resume     = flag.Bool("resume", false, "resume from the snapshot in -checkpoint-dir if one exists")
 	)
 	flag.Parse()
 
@@ -86,19 +95,25 @@ func main() {
 	opt.Epochs = *epochs
 	opt.LR = float32(*lr)
 	opt.Seed = cfg.Seed
+	opt.CheckpointDir = *ckptDir
+	opt.CheckpointEvery = *ckptEvery
+	opt.Resume = *resume
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume needs -checkpoint-dir")
+	}
 
 	start := time.Now()
 	var model *sisg.Model
 	switch {
-	case *resumeFrom != "":
-		f, err := os.Open(*resumeFrom)
+	case *warmStart != "":
+		f, err := os.Open(*warmStart)
 		if err != nil {
 			log.Fatal(err)
 		}
 		prev, err := emb.Load(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("loading %s: %v", *resumeFrom, err)
+			log.Fatalf("loading %s: %v", *warmStart, err)
 		}
 		seqs := sisg.Enrich(ds.Dict, train, v)
 		ropt := sisg.TrainOptions(opt, v, opt.Window)
@@ -106,7 +121,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("warm-started from %s: %d incremental pairs", *resumeFrom, st.Pairs)
+		log.Printf("warm-started from %s: %d incremental pairs", *warmStart, st.Pairs)
 		model = &sisg.Model{Variant: v, Dict: ds.Dict, Emb: prev, Stats: st}
 	case *workers > 0:
 		log.Printf("distributed training: %d workers, HBGP + ATNS", *workers)
@@ -117,6 +132,9 @@ func main() {
 		}
 		dopt := dist.DefaultOptions(*workers)
 		dopt.Options = sisg.TrainOptions(opt, v, opt.Window)
+		// TrainOptions replaced the embedded sgns.Options wholesale, and with
+		// it the Workers field DefaultOptions had set from the flag.
+		dopt.Workers = *workers
 		dmodel, st, err := dist.Train(ds.Dict.Dict, seqs, part, dopt)
 		if err != nil {
 			log.Fatal(err)

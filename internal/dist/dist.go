@@ -59,8 +59,62 @@ type Options struct {
 	SlowWorker      int
 	SlowWorkerDelay time.Duration
 
+	// Faults injects failures into the run; the zero value injects none.
+	// See FaultPlan.
+	Faults FaultPlan
+
+	// RemoteTimeout bounds one remote TNS attempt (send + reply); after it
+	// expires the requester retries, up to RemoteRetries re-sends, and then
+	// degrades the pair (see Stats.Degraded). Zero means the 2s default.
+	RemoteTimeout time.Duration
+	// RemoteRetries is the number of re-sends after the first attempt.
+	// Negative disables retries; zero means the default (2).
+	RemoteRetries int
+
+	// HeartbeatEvery is the health monitor's sampling interval (zero = 25ms
+	// default); DeadAfter is how long a scanning worker's heartbeat counter
+	// may sit still before the worker is declared dead (zero = 10s default;
+	// it should comfortably exceed RemoteTimeout, since a worker blocked on
+	// a remote call only beats once per attempt deadline). Death is sticky:
+	// survivors stop routing pairs to a dead worker and account the loss
+	// (Stats.DroppedPairs) rather than stalling on it.
+	HeartbeatEvery time.Duration
+	DeadAfter      time.Duration
+
 	// Cost holds the cluster cost model used to compute SimElapsed.
 	Cost CostModel
+}
+
+// FaultPlan injects reproducible failures into a run: a worker crash at an
+// exact pair count, a one-shot stall, and random request loss. Crash and
+// stall trigger on the worker's own deterministic pair counter, and drops
+// are drawn from a dedicated per-worker RNG derived from Options.Seed (the
+// training streams are untouched), so a failing scenario replays under the
+// same seed. The zero value injects nothing.
+type FaultPlan struct {
+	// CrashWorker stops the given worker — no more scanning, serving or
+	// heartbeats, and its un-synced hot deltas are lost — once its pair
+	// counter reaches CrashAtPairs. Inactive when CrashAtPairs is 0, so
+	// the zero value is safe; use CrashAtPairs=1 for "immediately".
+	CrashWorker  int
+	CrashAtPairs uint64
+	// StallWorker sleeps for StallFor (serving nothing) once its pair
+	// counter reaches StallAtPairs — a GC pause / noisy neighbor. One
+	// shot; inactive when StallFor is 0.
+	StallWorker  int
+	StallAtPairs uint64
+	StallFor     time.Duration
+	// DropFraction is the probability that a remote TNS request is lost in
+	// transit (the requester waits out its deadline, then retries).
+	DropFraction float64
+}
+
+// Validate reports the first invalid fault parameter.
+func (f FaultPlan) Validate() error {
+	if f.DropFraction < 0 || f.DropFraction >= 1 {
+		return fmt.Errorf("dist: DropFraction %v out of [0,1)", f.DropFraction)
+	}
+	return nil
 }
 
 // CostModel converts the engine's measured counters (pairs, remote calls,
@@ -111,7 +165,44 @@ func DefaultOptions(workers int) Options {
 	o.HotTopK = 512
 	o.SyncEvery = 4096
 	o.SlowWorker = -1
+	o.Faults.CrashWorker = -1
+	o.Faults.StallWorker = -1
 	return o
+}
+
+// remoteTimeout returns the effective per-attempt deadline.
+func (o *Options) remoteTimeout() time.Duration {
+	if o.RemoteTimeout > 0 {
+		return o.RemoteTimeout
+	}
+	return 2 * time.Second
+}
+
+// remoteRetries returns the effective re-send budget.
+func (o *Options) remoteRetries() int {
+	switch {
+	case o.RemoteRetries > 0:
+		return o.RemoteRetries
+	case o.RemoteRetries < 0:
+		return 0
+	}
+	return 2
+}
+
+// deadAfter returns the effective heartbeat-silence threshold.
+func (o *Options) deadAfter() time.Duration {
+	if o.DeadAfter > 0 {
+		return o.DeadAfter
+	}
+	return 10 * time.Second
+}
+
+// heartbeatEvery returns the effective monitor sampling interval.
+func (o *Options) heartbeatEvery() time.Duration {
+	if o.HeartbeatEvery > 0 {
+		return o.HeartbeatEvery
+	}
+	return 25 * time.Millisecond
 }
 
 // Stats aggregates what the cluster did.
@@ -122,12 +213,20 @@ type Stats struct {
 	Tokens      uint64        // tokens consumed (across the cluster, post-subsampling)
 	Pairs       uint64        // positive pairs trained
 	LocalPairs  uint64        // pairs completed without a remote call
-	RemotePairs uint64        // pairs requiring a remote TNS call
+	RemotePairs uint64        // pairs completed via a remote TNS call
 	BytesSent   uint64        // simulated network payload (vectors + ids)
 	HotSyncs    uint64        // hot replica synchronization rounds
 	HotTokens   int           // |Q|
 	// PairsPerWorker exposes the load balance achieved.
 	PairsPerWorker []uint64
+
+	// Fault-tolerance accounting: degradation is observable, never silent.
+	// The invariant Pairs == LocalPairs + RemotePairs + Degraded always
+	// holds; DroppedPairs counts pairs nobody trained at all.
+	Retries      uint64 // remote TNS re-sends after a deadline expired
+	Degraded     uint64 // pairs trained against local noise only, after retries were exhausted or the owner died
+	DroppedPairs uint64 // pairs observed by survivors as owned by a dead worker and therefore untrained
+	DeadWorkers  []int  // workers that crashed or were declared dead by the heartbeat monitor
 }
 
 // SimTokensPerSec is cluster throughput under the cost model — the y-axis
@@ -191,6 +290,9 @@ func Train(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Options)
 	}
 	if part.W != opt.Workers {
 		return nil, Stats{}, fmt.Errorf("dist: partition has %d workers, options say %d", part.W, opt.Workers)
+	}
+	if err := opt.Faults.Validate(); err != nil {
+		return nil, Stats{}, err
 	}
 	if opt.SyncEvery <= 0 {
 		opt.SyncEvery = 4096

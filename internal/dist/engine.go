@@ -1,12 +1,15 @@
 package dist
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sisg/internal/alias"
+	"sisg/internal/checkpoint"
 	"sisg/internal/emb"
 	"sisg/internal/graph"
 	"sisg/internal/rng"
@@ -16,11 +19,37 @@ import (
 // tnsReq is one remote TNS invocation (Algorithm 1, line 7): the requester
 // ships a copy of the target's input vector; the context's owner applies
 // the positive + negative output updates and returns the input gradient.
+// Each delivery attempt uses a fresh req with its own 1-buffered reply
+// channel, so a server answering a request its requester already abandoned
+// (deadline expired, pair degraded) never blocks.
 type tnsReq struct {
 	vec   []float32 // copy of in(v_i)
 	ctx   int32     // v_j, owned by the receiving worker
 	lr    float32
 	reply chan []float32
+}
+
+// Worker lifecycle states, as seen by the health monitor. Only a scanning
+// worker can be declared dead: one paused at a checkpoint barrier or done
+// with its scan is idle by design, not by failure. A crashed worker never
+// reports a state change — crashing silently is the point — so it stays
+// "scanning" with a frozen heartbeat until the monitor flags it.
+const (
+	stateScanning int32 = iota
+	stateWaiting
+	stateDone
+)
+
+// blockBarrier synchronizes one checkpoint cut. The protocol is
+// arrive → quiesce → ack → release: workers keep serving between arrival
+// and quiesce (a peer may still be mid-scan and need remote TNS), and
+// between ack and release nothing runs, so the engine snapshots a frozen,
+// race-free view of the model and hot store.
+type blockBarrier struct {
+	arrive  chan struct{} // workers announce block completion (cap W)
+	quiesce chan struct{} // closed by the engine once all W arrived
+	ack     chan struct{} // workers confirm they stopped serving (cap W)
+	release chan struct{} // closed by the engine after the snapshot
 }
 
 type engine struct {
@@ -43,9 +72,32 @@ type engine struct {
 	keep        []float32
 	totalTokens uint64 // corpus tokens × epochs (per worker scan)
 
-	reqCh       []chan *tnsReq
-	doneWorkers atomic.Int32
-	scanTokens  atomic.Uint64
+	reqCh      []chan *tnsReq
+	scanDone   chan struct{} // one message per worker when its scan role ends
+	scanTokens atomic.Uint64
+
+	// Health tracking: heartbeat counters sampled by the monitor, sticky
+	// dead flags, and a closed channel per dead worker so blocked
+	// requesters wake immediately on detection.
+	heartbeat []atomic.Uint64
+	state     []atomic.Int32
+	dead      []atomic.Bool
+	anyDead   atomic.Bool // fast-path guard for the per-pair dead check
+	deadCh    []chan struct{}
+	stopMon   chan struct{}
+	monWG     sync.WaitGroup
+
+	// Checkpointing (set when opt.CheckpointDir and CheckpointEvery are
+	// both set): scanning proceeds in sequence blocks with a barrier after
+	// each, where the engine may cut a snapshot.
+	ckptOn                 bool
+	fp                     uint64
+	blockSize, numBlocks   int
+	startEpoch, startBlock int
+	barriers               []blockBarrier
+	lastCkptPairs          uint64
+	ckptErr                error
+	aborted                bool // written during a quiesce window only
 
 	workers []*worker
 }
@@ -111,6 +163,82 @@ func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Opti
 	for i := range e.reqCh {
 		e.reqCh[i] = make(chan *tnsReq, 256)
 	}
+	e.scanDone = make(chan struct{}, w)
+	e.heartbeat = make([]atomic.Uint64, w)
+	e.state = make([]atomic.Int32, w)
+	e.dead = make([]atomic.Bool, w)
+	e.deadCh = make([]chan struct{}, w)
+	for i := range e.deadCh {
+		e.deadCh[i] = make(chan struct{})
+	}
+	e.stopMon = make(chan struct{})
+
+	// Checkpoint geometry. Without checkpointing each epoch is a single
+	// block with no barriers — the classic free-running schedule.
+	e.ckptOn = opt.CheckpointDir != "" && opt.CheckpointEvery > 0
+	e.blockSize = len(seqs)
+	if e.ckptOn && e.blockSize > checkpointBlockSeqs {
+		e.blockSize = checkpointBlockSeqs
+	}
+	if e.blockSize < 1 {
+		e.blockSize = 1
+	}
+	e.numBlocks = (len(seqs) + e.blockSize - 1) / e.blockSize
+	if e.numBlocks < 1 {
+		e.numBlocks = 1
+	}
+	// Run identity for snapshot compatibility: the sgns hyper-parameters
+	// plus everything distributed that shapes the model. Fault-injection
+	// and timeout knobs are deliberately excluded — restarting a faulted
+	// run without the fault plan is the expected recovery move.
+	e.fp = opt.Options.Fingerprint("dist", dict.Len(), len(seqs), opt.Workers,
+		opt.HotReplication, opt.HotThreshold, opt.HotTopK, opt.SyncEvery)
+	if e.ckptOn {
+		e.barriers = make([]blockBarrier, opt.Epochs*e.numBlocks)
+		for i := range e.barriers {
+			e.barriers[i] = blockBarrier{
+				arrive:  make(chan struct{}, w),
+				quiesce: make(chan struct{}),
+				ack:     make(chan struct{}, w),
+				release: make(chan struct{}),
+			}
+		}
+	}
+
+	var snap *checkpoint.Snapshot
+	if opt.Resume && opt.CheckpointDir != "" && checkpoint.Exists(opt.CheckpointDir) {
+		var err error
+		snap, err = checkpoint.Load(opt.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("dist: resume: %w", err)
+		}
+		if err := snap.CheckOptions(e.fp); err != nil {
+			return nil, fmt.Errorf("dist: resume: %w", err)
+		}
+		if len(snap.RNGs) != w {
+			return nil, fmt.Errorf("dist: resume: snapshot has %d workers, run has %d", len(snap.RNGs), w)
+		}
+		if snap.Model.Vocab() != e.model.Vocab() || snap.Model.Dim() != e.model.Dim() {
+			return nil, fmt.Errorf("dist: resume: snapshot model %d×%d, run %d×%d",
+				snap.Model.Vocab(), snap.Model.Dim(), e.model.Vocab(), e.model.Dim())
+		}
+		if len(snap.HotIn) != len(e.hotIDs) {
+			return nil, fmt.Errorf("dist: resume: snapshot has %d hot rows, run has %d", len(snap.HotIn), len(e.hotIDs))
+		}
+		if len(snap.Counters) != 1+workerCounterLen*w {
+			return nil, fmt.Errorf("dist: resume: snapshot has %d counters, want %d", len(snap.Counters), 1+workerCounterLen*w)
+		}
+		copy(e.model.In.Data(), snap.Model.In.Data())
+		copy(e.model.Out.Data(), snap.Model.Out.Data())
+		for i := range e.hotIDs {
+			copy(e.hotIn[i], snap.HotIn[i])
+			copy(e.hotOut[i], snap.HotOut[i])
+		}
+		e.scanTokens.Store(snap.Counters[0])
+		e.startEpoch, e.startBlock = snap.Epoch, snap.Block
+		e.lastCkptPairs = 0 // recomputed below once workers are restored
+	}
+
 	e.workers = make([]*worker, w)
 	for i := 0; i < w; i++ {
 		wk, err := newWorker(e, i, master.Split())
@@ -119,8 +247,31 @@ func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Opti
 		}
 		e.workers[i] = wk
 	}
+	if snap != nil {
+		for i, wk := range e.workers {
+			wk.r.SetState(snap.RNGs[i])
+			wk.restoreCounters(snap.Counters[1+i*workerCounterLen : 1+(i+1)*workerCounterLen])
+			// Replicas re-seed from the restored global hot store.
+			for h := range e.hotIDs {
+				copy(wk.hotIn[h], e.hotIn[h])
+				copy(wk.hotOut[h], e.hotOut[h])
+				copy(wk.hotInBase[h], e.hotIn[h])
+				copy(wk.hotOutBase[h], e.hotOut[h])
+			}
+		}
+		e.lastCkptPairs = e.totalPairs()
+	}
 	return e, nil
 }
+
+// checkpointBlockSeqs mirrors the sgns trainer's block granularity: a
+// snapshot can only be cut at a block barrier, so CheckpointEvery is a
+// lower bound on the pair gap between snapshots.
+const checkpointBlockSeqs = 512
+
+// workerCounterLen is the per-worker slot count in a snapshot's Counters
+// (see worker.saveCounters).
+const workerCounterLen = 9
 
 // selectHot returns the shared set Q: tokens above the frequency threshold,
 // or the top-K most frequent when threshold is zero.
@@ -199,10 +350,15 @@ func subsampleKeep(dict *vocab.Dict, counts []uint64, total uint64, t, siBoost f
 	return p
 }
 
-// run starts the workers, waits for completion, merges hot replicas back
-// into the model, and aggregates statistics.
+// run starts the workers and the health monitor, orchestrates checkpoint
+// barriers, shuts the request mesh down by closing the per-worker request
+// channels once every worker has finished (or crashed out of) its scan,
+// merges hot replicas back into the model, and aggregates statistics.
 func (e *engine) run() (*emb.Model, Stats, error) {
 	start := time.Now()
+	e.monWG.Add(1)
+	go e.monitor()
+
 	var wg sync.WaitGroup
 	for _, wk := range e.workers {
 		wg.Add(1)
@@ -211,7 +367,34 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 			wk.run()
 		}(wk)
 	}
+
+	if e.ckptOn {
+		e.orchestrateBarriers()
+	}
+
+	// Shutdown: when a worker's scan role ends (all epochs done, or
+	// crashed) it signals once. Remote calls only happen while scanning,
+	// so after the W-th signal nothing new can be sent and closing the
+	// request channels is safe; surviving workers drain what is queued
+	// and exit on channel close — no polling, no sleeps.
+	for n := 0; n < e.opt.Workers; n++ {
+		<-e.scanDone
+	}
+	for i := range e.reqCh {
+		close(e.reqCh[i])
+	}
 	wg.Wait()
+	close(e.stopMon)
+	e.monWG.Wait()
+
+	// A crashed worker may have been overlooked by the monitor if the run
+	// ended before its silence threshold; the final accounting is
+	// authoritative either way.
+	for _, wk := range e.workers {
+		if wk.crashed {
+			e.markDead(wk.id)
+		}
+	}
 
 	// Fold the final hot values back into the model rows.
 	for i, id := range e.hotIDs {
@@ -232,10 +415,151 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 		st.RemotePairs += wk.remotePairs
 		st.BytesSent += wk.bytesSent
 		st.HotSyncs += wk.hotSyncs
+		st.Retries += wk.retries
+		st.Degraded += wk.degraded
+		st.DroppedPairs += wk.droppedPairs
 		st.PairsPerWorker[i] = wk.pairs
+		if e.dead[i].Load() {
+			st.DeadWorkers = append(st.DeadWorkers, i)
+		}
 	}
 	st.SimElapsed = e.simElapsed()
-	return e.model, st, nil
+	return e.model, st, e.ckptErr
+}
+
+// orchestrateBarriers drives the arrive → quiesce → ack → release protocol
+// for every block barrier, cutting a snapshot whenever CheckpointEvery
+// pairs have accumulated since the last one (and always at the final
+// barrier, so a finished run resumes as a no-op).
+func (e *engine) orchestrateBarriers() {
+	w := e.opt.Workers
+	k0 := e.startEpoch*e.numBlocks + e.startBlock
+	for k := k0; k < len(e.barriers); k++ {
+		bar := &e.barriers[k]
+		for n := 0; n < w; n++ {
+			<-bar.arrive
+		}
+		close(bar.quiesce)
+		for n := 0; n < w; n++ {
+			<-bar.ack
+		}
+		// Quiesced: no worker is scanning or serving, so the model, hot
+		// store, RNG states and counters are a consistent cut.
+		pairs := e.totalPairs()
+		final := k == len(e.barriers)-1
+		if e.ckptErr == nil && (final || pairs-e.lastCkptPairs >= e.opt.CheckpointEvery) {
+			if err := e.saveCheckpoint(k + 1); err != nil {
+				e.ckptErr = fmt.Errorf("dist: checkpoint: %w", err)
+			} else {
+				e.lastCkptPairs = pairs
+			}
+		}
+		if checkpointAbortHook != nil && checkpointAbortHook(k) {
+			// Test-only simulated process kill: stop the run at this
+			// quiesce point. Workers observe aborted after release and
+			// stop scanning, so the saved snapshot is the resume point.
+			e.aborted = true
+			e.ckptErr = errAbortHook
+			close(bar.release)
+			return
+		}
+		close(bar.release)
+	}
+}
+
+// checkpointAbortHook, when set by a test, is invoked at each barrier's
+// quiesce point (after any snapshot); returning true kills the run there,
+// simulating a process death right after a checkpoint.
+var checkpointAbortHook func(k int) bool
+
+var errAbortHook = errors.New("dist: run aborted by test hook")
+
+func (e *engine) totalPairs() uint64 {
+	var p uint64
+	for _, wk := range e.workers {
+		p += wk.pairs
+	}
+	return p
+}
+
+// saveCheckpoint writes the snapshot describing a resume position of
+// global barrier index k (epoch k/numBlocks, block k%numBlocks).
+func (e *engine) saveCheckpoint(k int) error {
+	counters := make([]uint64, 1, 1+workerCounterLen*len(e.workers))
+	counters[0] = e.scanTokens.Load()
+	rngs := make([][4]uint64, len(e.workers))
+	for i, wk := range e.workers {
+		counters = append(counters, wk.saveCounters()...)
+		rngs[i] = wk.r.State()
+	}
+	return checkpoint.Save(e.opt.CheckpointDir, &checkpoint.Snapshot{
+		OptionsHash: e.fp,
+		Epoch:       k / e.numBlocks,
+		Block:       k % e.numBlocks,
+		Counters:    counters,
+		RNGs:        rngs,
+		Model:       e.model,
+		HotIn:       e.hotIn,
+		HotOut:      e.hotOut,
+	})
+}
+
+// monitor is the heartbeat watchdog: it samples every worker's heartbeat
+// counter at heartbeatEvery intervals and declares a worker dead once the
+// counter has sat still for deadAfter while the worker claims to be
+// scanning. Declaring death closes the worker's deadCh so requesters
+// blocked on it wake immediately and degrade instead of waiting out their
+// full retry budget. A false positive (a worker stalled past the
+// threshold that later recovers) is safe: the survivors account its pairs
+// as dropped and degrade remote calls to it, but nothing corrupts — the
+// flagged worker's own updates remain valid.
+func (e *engine) monitor() {
+	defer e.monWG.Done()
+	every := e.opt.heartbeatEvery()
+	deadAfter := e.opt.deadAfter()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	w := e.opt.Workers
+	last := make([]uint64, w)
+	still := make([]time.Duration, w)
+	for {
+		select {
+		case <-e.stopMon:
+			return
+		case <-ticker.C:
+			for i := 0; i < w; i++ {
+				if e.dead[i].Load() || e.state[i].Load() != stateScanning {
+					still[i] = 0
+					continue
+				}
+				hb := e.heartbeat[i].Load()
+				if hb != last[i] {
+					last[i] = hb
+					still[i] = 0
+					continue
+				}
+				still[i] += every
+				if still[i] >= deadAfter {
+					e.markDead(int32(i))
+				}
+			}
+		}
+	}
+}
+
+// markDead flags a worker as failed (idempotent) and wakes anyone blocked
+// on it.
+func (e *engine) markDead(id int32) {
+	if e.dead[id].CompareAndSwap(false, true) {
+		e.anyDead.Store(true)
+		close(e.deadCh[id])
+	}
+}
+
+// isDead reports whether the worker has been declared failed. The shared
+// anyDead flag keeps the common (healthy) path to a single cheap load.
+func (e *engine) isDead(id int32) bool {
+	return e.anyDead.Load() && e.dead[id].Load()
 }
 
 // simElapsed applies the cost model to the measured per-worker counters:
@@ -308,6 +632,16 @@ func applyDelta(global, local, base []float32) {
 // matches its global unigram^α rate. Without this, hot tokens absorb ~w×
 // their fair share of negative updates, their output vectors blow up, and
 // training diverges at high worker counts.
+//
+// A negative update writes the sampled token's OUTPUT row, so the
+// distribution may only ever contain rows this worker can safely write:
+// its own partition (replicas of hot rows are per-worker, so those are
+// safe everywhere). A degenerate partition — the worker owns no token that
+// appears in the corpus — therefore falls back to a uniform distribution
+// over the worker's own partition ∪ Q, NOT over the full vocabulary:
+// full-vocabulary negatives would race with the owners of those rows. A
+// worker that owns nothing at all gets a nil table and trains
+// positive-only (it can only be reached via replicated hot pairs).
 func (e *engine) noiseFor(id int) (*alias.Table, []int32, error) {
 	var tokens []int32
 	weights := []float64{}
@@ -325,14 +659,15 @@ func (e *engine) noiseFor(id int) (*alias.Table, []int32, error) {
 		}
 	}
 	if len(tokens) == 0 {
-		// Degenerate partition (no owned tokens observed): fall back to the
-		// full distribution so sampling still works.
 		for t := 0; t < e.dict.Len(); t++ {
-			if e.counts[t] > 0 {
+			if e.owner[t] == int32(id) || e.hotIdx[t] >= 0 {
 				tokens = append(tokens, int32(t))
-				weights = append(weights, math.Pow(float64(e.counts[t]), e.opt.NoiseAlpha))
+				weights = append(weights, 1)
 			}
 		}
+	}
+	if len(tokens) == 0 {
+		return nil, nil, nil
 	}
 	tab, err := alias.New(weights)
 	if err != nil {

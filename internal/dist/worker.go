@@ -32,11 +32,35 @@ type worker struct {
 
 	lr float32
 
-	// Counters (merged by the engine after the run).
+	// srng draws the negatives for SERVED requests. How many requests a
+	// worker serves (and when) depends on goroutine scheduling, so if
+	// serving consumed r, the scan-side subsample and window draws would
+	// shift from run to run and no two runs would train the same pairs.
+	// With a dedicated stream, r is consumed only by this worker's own
+	// deterministic scan order, which is what makes checkpoint resume
+	// replay exact pair counts.
+	srng *rng.RNG
+
+	// Fault machinery. frng is a dedicated RNG for fault decisions
+	// (request drops, degraded-pair negatives) so injecting faults never
+	// perturbs the training stream in r. crashAt/stallAt trigger on the
+	// worker's own pair counter — deterministic regardless of goroutine
+	// scheduling.
+	frng     *rng.RNG
+	crashAt  uint64
+	crashed  bool
+	stallAt  uint64
+	stallFor time.Duration
+	stalled  bool
+
+	// Counters (merged by the engine after the run; the first nine are
+	// persisted in checkpoints — see saveCounters).
 	pairs, localPairs, remotePairs uint64
 	servedPairs                    uint64
 	bytesSent                      uint64
 	hotSyncs                       uint64
+	retries, degraded              uint64
+	droppedPairs                   uint64
 	sincSync                       int
 }
 
@@ -46,6 +70,18 @@ func newWorker(e *engine, id int, r *rng.RNG) (*worker, error) {
 		grad: make([]float32, e.opt.Dim),
 		kept: make([]int32, 0, 128),
 		lr:   e.opt.LR,
+		srng: rng.New(e.opt.Seed ^ (0xbf58476d1ce4e5b9 * uint64(id+1))),
+		frng: rng.New(e.opt.Seed ^ (0x9e3779b97f4a7c15 * uint64(id+1))),
+	}
+	if f := e.opt.Faults; f.CrashWorker == id && f.CrashAtPairs > 0 {
+		w.crashAt = f.CrashAtPairs
+	}
+	if f := e.opt.Faults; f.StallWorker == id && f.StallFor > 0 {
+		w.stallAt = f.StallAtPairs
+		if w.stallAt == 0 {
+			w.stallAt = 1
+		}
+		w.stallFor = f.StallFor
 	}
 	noise, tokens, err := e.noiseFor(id)
 	if err != nil {
@@ -66,38 +102,105 @@ func newWorker(e *engine, id int, r *rng.RNG) (*worker, error) {
 	return w, nil
 }
 
-// run scans the corpus for opt.Epochs, then serves until every worker is
-// done. Because remote calls are synchronous, once all workers have passed
-// the done barrier no requests can be in flight.
+// saveCounters returns the worker's persistent counters in checkpoint
+// order; restoreCounters is its inverse. workerCounterLen must match.
+func (w *worker) saveCounters() []uint64 {
+	return []uint64{w.pairs, w.localPairs, w.remotePairs, w.servedPairs,
+		w.bytesSent, w.hotSyncs, w.retries, w.degraded, w.droppedPairs}
+}
+
+func (w *worker) restoreCounters(c []uint64) {
+	w.pairs, w.localPairs, w.remotePairs, w.servedPairs = c[0], c[1], c[2], c[3]
+	w.bytesSent, w.hotSyncs, w.retries, w.degraded, w.droppedPairs = c[4], c[5], c[6], c[7], c[8]
+}
+
+// run scans the corpus for opt.Epochs (in blocks, with a barrier after
+// each, when checkpointing is on), then serves peers until the engine
+// closes this worker's request channel. The engine closes the channels
+// only after every worker has signalled scanDone, and remote calls happen
+// only while scanning, so no send can race the close.
+//
+// A crashed worker keeps attending checkpoint barriers (the barrier
+// arithmetic needs exactly W arrivals) but neither scans nor serves, and
+// exits as soon as its scan role ends — its queue then simply stops being
+// drained, and peers time out, degrade, and eventually drop its pairs.
 func (w *worker) run() {
 	e := w.e
-	for ep := 0; ep < w.opt.Epochs; ep++ {
-		for _, seq := range e.seqs {
-			w.scanSequence(seq)
+scan:
+	for ep := e.startEpoch; ep < w.opt.Epochs; ep++ {
+		b0 := 0
+		if ep == e.startEpoch {
+			b0 = e.startBlock
 		}
+		for b := b0; b < e.numBlocks; b++ {
+			if !w.crashed {
+				lo := b * e.blockSize
+				hi := lo + e.blockSize
+				if hi > len(e.seqs) {
+					hi = len(e.seqs)
+				}
+				for i := lo; i < hi && !w.crashed; i++ {
+					w.scanSequence(e.seqs[i])
+				}
+			}
+			if e.ckptOn {
+				w.blockBarrier(ep*e.numBlocks + b)
+				// aborted is written before the engine releases the
+				// barrier, so this read is ordered after the write.
+				if e.aborted {
+					break scan
+				}
+			}
+		}
+	}
+	if w.crashed {
+		// Crash semantics: no final hot push (un-synced deltas are lost),
+		// no serving, no state transition — the heartbeat just stops.
+		e.scanDone <- struct{}{}
+		return
 	}
 	// Final replica push so the engine's fold-in sees this worker's work.
 	e.hotSync(w)
-	e.doneWorkers.Add(1)
+	e.state[w.id].Store(stateDone)
+	e.scanDone <- struct{}{}
+	for req := range e.reqCh[w.id] {
+		w.serve(req)
+	}
+}
+
+// blockBarrier runs one arrive → quiesce → ack → release cycle. Between
+// arrival and quiesce the worker keeps serving (slower peers may still
+// need remote TNS to finish the block); between ack and release it runs
+// nothing, giving the engine a write-free window to snapshot. Stale
+// abandoned requests left in the queue are deliberately NOT served here —
+// serving would mutate the model mid-snapshot — they wait for the next
+// scan phase's opportunistic drain.
+func (w *worker) blockBarrier(k int) {
+	e := w.e
+	bar := &e.barriers[k]
+	if w.crashed {
+		bar.arrive <- struct{}{}
+		<-bar.quiesce
+		bar.ack <- struct{}{}
+		<-bar.release
+		return
+	}
+	// Push replica deltas so the snapshot includes this worker's hot work.
+	e.hotSync(w)
+	e.state[w.id].Store(stateWaiting)
+	bar.arrive <- struct{}{}
+serving:
 	for {
 		select {
 		case req := <-e.reqCh[w.id]:
 			w.serve(req)
-		default:
-			if e.doneWorkers.Load() == int32(w.opt.Workers) {
-				// Drain anything that raced in, then exit.
-				for {
-					select {
-					case req := <-e.reqCh[w.id]:
-						w.serve(req)
-					default:
-						return
-					}
-				}
-			}
-			time.Sleep(50 * time.Microsecond)
+		case <-bar.quiesce:
+			break serving
 		}
 	}
+	bar.ack <- struct{}{}
+	<-bar.release
+	e.state[w.id].Store(stateScanning)
 }
 
 // scanSequence subsamples, then walks the windows. Every worker scans every
@@ -107,6 +210,9 @@ func (w *worker) run() {
 func (w *worker) scanSequence(seq []int32) {
 	e := w.e
 	opt := w.opt
+	// Scanning itself is liveness, even when this worker ends up training
+	// no pair in the sequence (it may own nothing in this region).
+	e.heartbeat[w.id].Add(1)
 	kept := w.kept[:0]
 	for _, t := range seq {
 		if e.keep != nil && w.r.Float32() >= e.keep[t] {
@@ -135,6 +241,9 @@ func (w *worker) scanSequence(seq []int32) {
 		steps = 1
 	}
 	for i := range kept {
+		if w.crashed {
+			return
+		}
 		// Serve pending peer requests between window centers so a remote
 		// caller is never stalled behind this worker's whole scan.
 		w.maybeServe()
@@ -152,13 +261,41 @@ func (w *worker) scanSequence(seq []int32) {
 				continue
 			}
 			vi, vj := kept[i], kept[j]
-			if w.processor(vi, vj) != w.id {
+			if p := w.processor(vi, vj); p != w.id {
+				// The pair belongs to someone else. If that someone is
+				// dead, the pair is lost cluster-wide; exactly one
+				// survivor accounts it (see countsDropsFor).
+				if e.anyDead.Load() && e.dead[p].Load() && w.countsDropsFor(p) {
+					w.droppedPairs++
+				}
 				continue
 			}
 			w.trainPair(vi, vj)
+			if w.crashed {
+				return
+			}
 		}
 	}
 	w.maybeServe()
+}
+
+// countsDropsFor designates this worker as the accountant for pairs lost
+// to dead worker p: the first live worker after p in ring order. Every
+// survivor scans every sequence, so without a designated counter each
+// dropped pair would be counted once per survivor. Under cascading
+// failures the count is approximate (a later death re-routes the
+// designation mid-run); DroppedPairs is an observability figure, not an
+// exact ledger.
+func (w *worker) countsDropsFor(p int32) bool {
+	e := w.e
+	n := int32(w.opt.Workers)
+	for i := int32(1); i < n; i++ {
+		c := (p + i) % n
+		if !e.dead[c].Load() {
+			return c == w.id
+		}
+	}
+	return false
 }
 
 // processor decides which worker trains the pair. Without replication it
@@ -176,20 +313,37 @@ func (w *worker) processor(vi, vj int32) int32 {
 	return int32((uint32(vi)*31 + uint32(vj)) % uint32(w.opt.Workers))
 }
 
-// trainPair runs one positive+negatives update for (v_i, v_j).
+// trainPair runs one positive+negatives update for (v_i, v_j), or the
+// degraded fallback when the remote owner is unreachable. Fault triggers
+// fire here, on the pair counter, so a plan replays exactly under a seed.
 func (w *worker) trainPair(vi, vj int32) {
 	e := w.e
+	if w.crashAt > 0 && w.pairs >= w.crashAt {
+		w.crashed = true
+		return
+	}
+	if w.stallAt > 0 && !w.stalled && w.pairs >= w.stallAt {
+		w.stalled = true
+		time.Sleep(w.stallFor)
+	}
+	e.heartbeat[w.id].Add(1)
 	w.pairs++
 	vin := e.rowIn(w, vi)
 	local := e.hotIdx[vj] >= 0 || e.owner[vj] == w.id
 	if local {
 		w.localPairs++
-		grad := w.tns(vin, vj, w.lr)
+		grad := w.tns(vin, vj, w.lr, w.r)
+		vecmath.Add(grad, vin)
+	} else if dst := e.owner[vj]; e.isDead(dst) {
+		// Known-dead owner: skip the network entirely and degrade.
+		w.degraded++
+		w.degradePair(vin, vj)
+	} else if grad, ok := w.remoteCall(dst, vin, vj); ok {
+		w.remotePairs++
 		vecmath.Add(grad, vin)
 	} else {
-		w.remotePairs++
-		grad := w.remoteCall(e.owner[vj], vin, vj)
-		vecmath.Add(grad, vin)
+		w.degraded++
+		w.degradePair(vin, vj)
 	}
 	w.sincSync++
 	if w.sincSync >= w.opt.SyncEvery && len(e.hotIDs) > 0 {
@@ -201,7 +355,10 @@ func (w *worker) trainPair(vi, vj int32) {
 // tns is Algorithm 1's TNS function run locally: positive update on
 // out(v_j), negatives from the local noise distribution, returning the
 // gradient for the input vector. The returned slice is w.grad (reused).
-func (w *worker) tns(vin []float32, ctx int32, lr float32) []float32 {
+// A worker with no local noise distribution (owns nothing) trains the
+// positive term only. r is the negative-sampling stream: w.r for the
+// worker's own pairs, w.srng for served requests (see the field docs).
+func (w *worker) tns(vin []float32, ctx int32, lr float32, r *rng.RNG) []float32 {
 	e := w.e
 	grad := w.grad
 	vecmath.Zero(grad)
@@ -217,8 +374,11 @@ func (w *worker) tns(vin []float32, ctx int32, lr float32) []float32 {
 	vecmath.Axpy(g, out, grad)
 	vecmath.Axpy(g, vin, out)
 
+	if w.noise == nil {
+		return grad
+	}
 	for n := 0; n < w.opt.Negatives; n++ {
-		t := w.noiseTokens[w.noise.Sample(w.r)]
+		t := w.noiseTokens[w.noise.Sample(r)]
 		if t == ctx {
 			continue
 		}
@@ -236,35 +396,125 @@ func (w *worker) tns(vin []float32, ctx int32, lr float32) []float32 {
 	return grad
 }
 
-// remoteCall ships in(v_i) to the owner of v_j and waits for the gradient,
-// serving incoming requests while blocked (deadlock freedom).
-func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) []float32 {
+// degradePair is the graceful-degradation fallback when out(v_j) is
+// unreachable (owner dead, or retries exhausted): apply a single
+// negative-sample update from the local noise distribution. The positive
+// term needs the failed peer's row, so only the contrastive half can run —
+// and deliberately at 1 negative, not the full budget: repulsion without
+// its positive counterweight accumulates, and during a long outage the
+// full budget visibly distorts the input vectors it touches (the degraded
+// pairs concentrate on the dead worker's partition). One draw keeps the
+// vectors moving without letting the imbalance dominate. Negatives come
+// from frng: the fault path must not consume the deterministic training
+// stream.
+func (w *worker) degradePair(vin []float32, ctx int32) {
+	if w.noise == nil {
+		return
+	}
 	e := w.e
-	req := &tnsReq{
-		vec:   append([]float32(nil), vin...),
-		ctx:   ctx,
-		lr:    w.lr,
-		reply: make(chan []float32, 1),
+	grad := w.grad
+	vecmath.Zero(grad)
+	t := w.noiseTokens[w.noise.Sample(w.frng)]
+	if t == ctx {
+		return
 	}
-	w.bytesSent += uint64(len(vin))*4 + 8
-	for {
-		select {
-		case e.reqCh[dst] <- req:
-			goto sent
-		case in := <-e.reqCh[w.id]:
-			w.serve(in)
+	out := e.rowOut(w, t)
+	dot := vecmath.Dot(vin, out)
+	if dot != dot {
+		return
+	}
+	g := (0 - vecmath.Sigmoid(dot)) * w.lr
+	vecmath.Axpy(g, out, grad)
+	vecmath.Axpy(g, vin, out)
+	vecmath.Add(grad, vin)
+}
+
+// remoteCall ships in(v_i) to the owner of v_j and waits for the gradient,
+// serving incoming requests while blocked (deadlock freedom). Each attempt
+// is bounded by RemoteTimeout; after 1+RemoteRetries attempts, or as soon
+// as the destination is declared dead, it gives up and the caller
+// degrades. Every attempt uses a fresh request (fresh buffered reply
+// channel), so a late server answer to an abandoned attempt never blocks
+// the server and never corrupts a newer attempt.
+func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, bool) {
+	e := w.e
+	timeout := w.opt.remoteTimeout()
+	attempts := 1 + w.opt.remoteRetries()
+	if attempts < 1 {
+		attempts = 1
+	}
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			w.retries++
 		}
-	}
-sent:
-	for {
-		select {
-		case grad := <-req.reply:
-			w.bytesSent += uint64(len(grad)) * 4
-			return grad
-		case in := <-e.reqCh[w.id]:
-			w.serve(in)
+		if e.isDead(dst) {
+			return nil, false
 		}
+		// Fault injection: the request is lost on the wire. The requester
+		// cannot tell — it just never hears back and waits out the
+		// deadline (still serving its own queue, still paying the send
+		// bytes).
+		dropped := w.opt.Faults.DropFraction > 0 && w.frng.Float64() < w.opt.Faults.DropFraction
+		req := &tnsReq{
+			vec:   append([]float32(nil), vin...),
+			ctx:   ctx,
+			lr:    w.lr,
+			reply: make(chan []float32, 1),
+		}
+		timer := time.NewTimer(timeout)
+		expired := false
+		if dropped {
+			w.bytesSent += uint64(len(vin))*4 + 8
+			for !expired {
+				select {
+				case in := <-e.reqCh[w.id]:
+					w.serve(in)
+				case <-e.deadCh[dst]:
+					timer.Stop()
+					return nil, false
+				case <-timer.C:
+					expired = true
+				}
+			}
+		} else {
+			sent := false
+			for !sent && !expired {
+				select {
+				case e.reqCh[dst] <- req:
+					sent = true
+				case in := <-e.reqCh[w.id]:
+					w.serve(in)
+				case <-e.deadCh[dst]:
+					timer.Stop()
+					return nil, false
+				case <-timer.C:
+					expired = true
+				}
+			}
+			if sent {
+				w.bytesSent += uint64(len(vin))*4 + 8
+				for !expired {
+					select {
+					case grad := <-req.reply:
+						timer.Stop()
+						w.bytesSent += uint64(len(grad)) * 4
+						return grad, true
+					case in := <-e.reqCh[w.id]:
+						w.serve(in)
+					case <-e.deadCh[dst]:
+						timer.Stop()
+						return nil, false
+					case <-timer.C:
+						expired = true
+					}
+				}
+			}
+		}
+		// Deadline fired: the worker is alive and deciding, which counts
+		// as liveness for the watchdog.
+		e.heartbeat[w.id].Add(1)
 	}
+	return nil, false
 }
 
 // serve executes a TNS request against this worker's rows.
@@ -272,8 +522,9 @@ func (w *worker) serve(req *tnsReq) {
 	if w.opt.SlowWorker == int(w.id) && w.opt.SlowWorkerDelay > 0 {
 		time.Sleep(w.opt.SlowWorkerDelay)
 	}
+	w.e.heartbeat[w.id].Add(1)
 	w.servedPairs++
-	grad := w.tns(req.vec, req.ctx, req.lr)
+	grad := w.tns(req.vec, req.ctx, req.lr, w.srng)
 	req.reply <- append([]float32(nil), grad...)
 }
 
@@ -282,7 +533,10 @@ func (w *worker) serve(req *tnsReq) {
 func (w *worker) maybeServe() {
 	for {
 		select {
-		case req := <-w.e.reqCh[w.id]:
+		case req, ok := <-w.e.reqCh[w.id]:
+			if !ok {
+				return
+			}
 			w.serve(req)
 		default:
 			return

@@ -115,6 +115,21 @@ func (r *RNG) NormFloat64() float64 {
 	}
 }
 
+// State returns the generator's internal state, for checkpointing. A
+// generator restored with SetState produces the identical stream the
+// original would have produced from this point on.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a value obtained
+// from State. The all-zero state is invalid for xoshiro and is replaced by
+// a fixed non-zero state rather than accepted.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 // Split derives a new independent generator from this one. The derived
 // stream is a function of the parent's current state, so calling Split n
 // times yields n distinct deterministic streams.

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A panicking handler must be answered with a 500 and counted, never kill
+// the process, and must not poison subsequent requests.
+func TestPanicRecovery(t *testing.T) {
+	s, _ := testServer(t)
+	boom := s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	ts := httptest.NewServer(boom)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicking handler answered %d, want 500", resp.StatusCode)
+		}
+	}
+	if got := s.Stats().Panics; got != 3 {
+		t.Fatalf("Panics = %d, want 3", got)
+	}
+}
+
+// Requests beyond MaxInFlight are shed with 503 + Retry-After while the
+// admitted request proceeds.
+func TestConcurrencyLimiterSheds(t *testing.T) {
+	s, _ := testServer(t)
+	s.cfg.MaxInFlight = 1
+	s.sem = make(chan struct{}, 1)
+
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	h := s.withLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(inside) })
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-inside // the slot is now occupied
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit request answered %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response has no Retry-After header")
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Shed; got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+}
+
+// A request that exceeds RequestTimeout is cut off with 503 instead of
+// holding its connection open indefinitely.
+func TestRequestTimeout(t *testing.T) {
+	s, _ := testServer(t)
+	s.cfg.RequestTimeout = 20 * time.Millisecond
+	done := make(chan struct{})
+	slow := s.harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-done:
+		}
+	}))
+	ts := httptest.NewServer(slow)
+	defer ts.Close()
+	defer close(done)
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request answered %d, want 503", resp.StatusCode)
+	}
+}
+
+// The full hardened handler chain still serves the normal API.
+func TestHardenedChainServes(t *testing.T) {
+	s, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/similar?item=1&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("similar via hardened chain: %d %s", resp.StatusCode, body)
+	}
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Similar != 1 || st.Panics != 0 || st.Shed != 0 {
+		t.Fatalf("stats after one request: %+v", st)
+	}
+	_ = s
+}

@@ -10,9 +10,11 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"sisg/internal/corpus"
 	"sisg/internal/knn"
@@ -35,6 +37,42 @@ type Stats struct {
 	ColdItem     uint64 `json:"cold_item"`
 	ColdUser     uint64 `json:"cold_user"`
 	ClientErrors uint64 `json:"client_errors"`
+	Panics       uint64 `json:"panics"` // requests answered 500 after a recovered handler panic
+	Shed         uint64 `json:"shed"`   // requests answered 503 by the concurrency limiter
+}
+
+// Config tunes the hardening envelope around the handlers. The zero value
+// gets production-safe defaults for every field.
+type Config struct {
+	// MaxK bounds the candidate-set size a single request may ask for
+	// (<=0 means 1000).
+	MaxK int
+	// MaxInFlight bounds concurrently executing requests; excess load is
+	// shed immediately with 503 + Retry-After instead of queueing until
+	// everything is slow (<=0 means 256).
+	MaxInFlight int
+	// RequestTimeout bounds one request's handling time; a request that
+	// exceeds it is answered 503 (<=0 means 10s).
+	RequestTimeout time.Duration
+	// RetryAfter is the back-off advertised on shed responses, rounded up
+	// to whole seconds (<=0 means 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
 }
 
 // Server serves one trained model over one catalog.
@@ -42,23 +80,34 @@ type Server struct {
 	ds    *corpus.Dataset
 	model *sisg.Model
 	maxK  int
+	cfg   Config
+	sem   chan struct{} // concurrency limiter; holds MaxInFlight tokens
 
 	similar      atomic.Uint64
 	coldItem     atomic.Uint64
 	coldUser     atomic.Uint64
 	clientErrors atomic.Uint64
+	panics       atomic.Uint64
+	shed         atomic.Uint64
 }
 
-// New returns a server for the given dataset and model. maxK bounds the
-// candidate-set size a single request may ask for (<=0 means 1000).
+// New returns a server for the given dataset and model with default
+// hardening. maxK bounds the candidate-set size a single request may ask
+// for (<=0 means 1000).
 func New(ds *corpus.Dataset, model *sisg.Model, maxK int) *Server {
-	if maxK <= 0 {
-		maxK = 1000
-	}
-	return &Server{ds: ds, model: model, maxK: maxK}
+	return NewConfigured(ds, model, Config{MaxK: maxK})
 }
 
-// Handler returns the routed HTTP handler.
+// NewConfigured returns a server with explicit hardening limits.
+func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		ds: ds, model: model, maxK: cfg.MaxK, cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Handler returns the routed HTTP handler wrapped in the hardening chain.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/similar", s.handleSimilar)
@@ -66,7 +115,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/coldstart/user", s.handleColdUser)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	return s.harden(mux)
+}
+
+// harden wraps a handler in the protection chain, outermost first: panic
+// recovery (a handler bug answers 500 and is counted, instead of killing
+// the whole process), load shedding (overload answers 503 + Retry-After
+// immediately), and a per-request deadline (one stuck request cannot hold
+// a connection forever).
+func (s *Server) harden(h http.Handler) http.Handler {
+	return s.withRecovery(s.withLimit(http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")))
+}
+
+// withRecovery converts a handler panic into a 500 plus a counter bump.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// response, not a bug.
+func (s *Server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.panics.Add(1)
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withLimit sheds load beyond MaxInFlight concurrent requests with
+// 503 + Retry-After, keeping latency bounded for the requests it accepts.
+func (s *Server) withLimit(h http.Handler) http.Handler {
+	retryAfter := strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds())))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h.ServeHTTP(w, r)
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		}
+	})
 }
 
 // Stats returns a snapshot of the serving counters.
@@ -76,6 +169,8 @@ func (s *Server) Stats() Stats {
 		ColdItem:     s.coldItem.Load(),
 		ColdUser:     s.coldUser.Load(),
 		ClientErrors: s.clientErrors.Load(),
+		Panics:       s.panics.Load(),
+		Shed:         s.shed.Load(),
 	}
 }
 

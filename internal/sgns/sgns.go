@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sisg/internal/alias"
+	"sisg/internal/checkpoint"
 	"sisg/internal/emb"
 	"sisg/internal/rng"
 	"sisg/internal/vecmath"
@@ -54,6 +55,20 @@ type Options struct {
 	Directed bool // sample right context window only (§II-C)
 	Workers  int  // Hogwild shards; 0 = GOMAXPROCS
 	Seed     uint64
+
+	// Checkpointing (fault tolerance). When CheckpointDir is non-empty and
+	// CheckpointEvery > 0, the trainer periodically snapshots the model,
+	// per-shard RNG states and progress counters via internal/checkpoint:
+	// training proceeds in sequence blocks with a barrier between them, and
+	// a snapshot is cut at the first barrier after CheckpointEvery pairs
+	// since the previous one (plus a final snapshot at completion). Resume
+	// continues from the snapshot in CheckpointDir if one exists (and
+	// starts fresh if not); a snapshot written under different
+	// hyper-parameters is refused. The zero values disable checkpointing
+	// and the trainer runs barrier-free, exactly as before.
+	CheckpointDir   string
+	CheckpointEvery uint64
+	Resume          bool
 }
 
 // Defaults returns the option set used by the offline experiments.
@@ -71,6 +86,20 @@ func Defaults() Options {
 		Workers:    0,
 		Seed:       1,
 	}
+}
+
+// Fingerprint hashes the hyper-parameters that define a training run, for
+// checkpoint compatibility checks: resuming under a different configuration
+// would silently train a different model, so snapshots carry this hash and
+// loads compare it. Checkpoint-control fields (dir, cadence, the Resume
+// flag itself) are excluded — moving the checkpoint directory or changing
+// the cadence must not invalidate a snapshot. Callers append any extra
+// run-identity values (vocabulary size, corpus size, worker count).
+func (o Options) Fingerprint(extra ...interface{}) uint64 {
+	c := o
+	c.CheckpointDir, c.CheckpointEvery, c.Resume = "", 0, false
+	vs := append([]interface{}{fmt.Sprintf("%+v", c)}, extra...)
+	return checkpoint.HashOptions(vs...)
 }
 
 // Validate reports the first invalid option.
@@ -199,27 +228,115 @@ func trainInto(model *emb.Model, dict *vocab.Dict, seqs [][]int32, opt Options) 
 		pairs      atomic.Uint64
 		updates    atomic.Uint64
 	)
+
+	// Persistent per-shard state: each shard keeps one RNG stream across
+	// every epoch and block, so splitting the run into blocks (for
+	// checkpoint barriers) leaves the per-shard operation sequence — and
+	// therefore the Stats trajectory — bit-identical to a barrier-free run.
+	states := make([]*workerState, workers)
+	for w := range states {
+		states[w] = &workerState{
+			model: model, noise: noise, keep: keep, opt: &opt, r: master.Split(),
+			grad: make([]float32, opt.Dim),
+			kept: make([]int32, 0, 64),
+		}
+	}
+
+	// Without checkpointing each epoch is a single block and the loop
+	// below degenerates to the classic barrier-free Hogwild schedule.
+	ckptOn := opt.CheckpointDir != "" && opt.CheckpointEvery > 0
+	blockSize := len(seqs)
+	if ckptOn && blockSize > checkpointBlockSeqs {
+		blockSize = checkpointBlockSeqs
+	}
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	numBlocks := (len(seqs) + blockSize - 1) / blockSize
+
+	fp := opt.Fingerprint(dict.Len(), len(seqs), workers)
+	startEpoch, startBlock := 0, 0
+	var lastCkptPairs uint64
+	if opt.Resume && opt.CheckpointDir != "" && checkpoint.Exists(opt.CheckpointDir) {
+		snap, err := checkpoint.Load(opt.CheckpointDir)
+		if err != nil {
+			return Stats{}, fmt.Errorf("sgns: resume: %w", err)
+		}
+		if err := snap.CheckOptions(fp); err != nil {
+			return Stats{}, fmt.Errorf("sgns: resume: %w", err)
+		}
+		if len(snap.RNGs) != workers {
+			return Stats{}, fmt.Errorf("sgns: resume: snapshot has %d shards, run has %d (set Workers explicitly)", len(snap.RNGs), workers)
+		}
+		if snap.Model.Vocab() != model.Vocab() || snap.Model.Dim() != model.Dim() {
+			return Stats{}, fmt.Errorf("sgns: resume: snapshot model %d×%d, run %d×%d",
+				snap.Model.Vocab(), snap.Model.Dim(), model.Vocab(), model.Dim())
+		}
+		if len(snap.Counters) != 3 {
+			return Stats{}, fmt.Errorf("sgns: resume: snapshot has %d counters, want 3", len(snap.Counters))
+		}
+		copy(model.In.Data(), snap.Model.In.Data())
+		copy(model.Out.Data(), snap.Model.Out.Data())
+		for w := range states {
+			states[w].r.SetState(snap.RNGs[w])
+		}
+		pairs.Store(snap.Counters[0])
+		updates.Store(snap.Counters[1])
+		doneTokens.Store(snap.Counters[2])
+		startEpoch, startBlock = snap.Epoch, snap.Block
+		lastCkptPairs = snap.Counters[0]
+	}
+
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(shard int, r *rng.RNG) {
-			defer wg.Done()
-			ws := workerState{
-				model: model, noise: noise, keep: keep, opt: &opt, r: r,
-				grad: make([]float32, opt.Dim),
-				kept: make([]int32, 0, 64),
+	for epoch := startEpoch; epoch < opt.Epochs; epoch++ {
+		b0 := 0
+		if epoch == startEpoch {
+			b0 = startBlock
+		}
+		for b := b0; b < numBlocks; b++ {
+			lo := b * blockSize
+			hi := lo + blockSize
+			if hi > len(seqs) {
+				hi = len(seqs)
 			}
-			for epoch := 0; epoch < opt.Epochs; epoch++ {
-				for i := shard; i < len(seqs); i += workers {
-					ws.trainSequence(seqs[i], &doneTokens, totalTokens)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(shard int, ws *workerState) {
+					defer wg.Done()
+					// The shard processes exactly the block's indexes that
+					// are ≡ shard (mod workers): concatenated over blocks
+					// this is the same per-shard order as the unblocked
+					// `for i := shard; i < len(seqs); i += workers` loop.
+					first := lo + (shard-lo%workers+workers)%workers
+					for i := first; i < hi; i += workers {
+						ws.trainSequence(seqs[i], &doneTokens, totalTokens)
+					}
+					pairs.Add(ws.pairs)
+					updates.Add(ws.updates)
+					ws.pairs, ws.updates = 0, 0
+				}(w, states[w])
+			}
+			wg.Wait()
+
+			if ckptOn {
+				nextE, nextB := epoch, b+1
+				if nextB == numBlocks {
+					nextE, nextB = epoch+1, 0
+				}
+				finished := nextE >= opt.Epochs
+				if finished || pairs.Load()-lastCkptPairs >= opt.CheckpointEvery {
+					if err := saveCheckpoint(opt.CheckpointDir, fp, nextE, nextB, states, model, &pairs, &updates, &doneTokens); err != nil {
+						return Stats{}, fmt.Errorf("sgns: checkpoint: %w", err)
+					}
+					lastCkptPairs = pairs.Load()
+					if checkpointCrashHook != nil && checkpointCrashHook(nextE, nextB) {
+						return Stats{}, errCrashHook
+					}
 				}
 			}
-			pairs.Add(ws.pairs)
-			updates.Add(ws.updates)
-		}(w, master.Split())
+		}
 	}
-	wg.Wait()
 
 	st := Stats{
 		Pairs:       pairs.Load(),
@@ -230,6 +347,37 @@ func trainInto(model *emb.Model, dict *vocab.Dict, seqs [][]int32, opt Options) 
 	}
 	st.FinalLR = decayLR(opt.LR, opt.MinLRFrac, st.Tokens, totalTokens)
 	return st, nil
+}
+
+// checkpointCrashHook, when set (tests only), is called after each
+// snapshot write with the snapshot's resume position; returning true kills
+// the run at exactly that point, simulating a process crash whose last
+// visible effect is the snapshot.
+var checkpointCrashHook func(epoch, block int) bool
+
+var errCrashHook = errors.New("sgns: crashed by test hook")
+
+// checkpointBlockSeqs is the sequence-block granularity used when
+// checkpointing is enabled: a snapshot can be cut only at a block barrier,
+// so CheckpointEvery is a lower bound on the pair gap between snapshots,
+// not an exact cadence.
+const checkpointBlockSeqs = 512
+
+// saveCheckpoint cuts a snapshot at a block barrier (no shard goroutines
+// running, so the model and counters are a consistent view).
+func saveCheckpoint(dir string, fp uint64, epoch, block int, states []*workerState, model *emb.Model, pairs, updates, doneTokens *atomic.Uint64) error {
+	rngs := make([][4]uint64, len(states))
+	for i, ws := range states {
+		rngs[i] = ws.r.State()
+	}
+	return checkpoint.Save(dir, &checkpoint.Snapshot{
+		OptionsHash: fp,
+		Epoch:       epoch,
+		Block:       block,
+		Counters:    []uint64{pairs.Load(), updates.Load(), doneTokens.Load()},
+		RNGs:        rngs,
+		Model:       model,
+	})
 }
 
 // noiseWeights returns count^alpha per token (P_noise(v) ∝ freq(v)^α,
