@@ -7,6 +7,10 @@
 //	GET /coldstart/user?gender=F&age=2&power=1&k=20
 //	                                    user-type averaging (§IV-C1)
 //	GET /healthz, /stats                liveness and serving counters
+//	GET /metrics                        Prometheus text exposition
+//
+// With -pprof-addr a sidecar listener additionally serves net/http/pprof
+// and the same /metrics registry, kept off the production port.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"sisg/internal/corpus"
 	"sisg/internal/emb"
 	"sisg/internal/experiments"
+	"sisg/internal/metrics"
 	"sisg/internal/server"
 	"sisg/internal/sgns"
 	"sisg/internal/sisg"
@@ -41,8 +46,17 @@ func main() {
 		maxInFly   = flag.Int("max-inflight", 256, "concurrent requests before shedding 503s")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline")
 		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+		pprofAddr  = flag.String("pprof-addr", "", "expose net/http/pprof and /metrics on this sidecar address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof + metrics sidecar on http://%s/debug/pprof/ and /metrics", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, metrics.DebugMux(reg)))
+		}()
+	}
 
 	cfg, err := experiments.CorpusByName(*corpusName)
 	if err != nil {
@@ -90,6 +104,7 @@ func main() {
 			MaxK:           *maxK,
 			MaxInFlight:    *maxInFly,
 			RequestTimeout: *reqTimeout,
+			Metrics:        reg, // one registry for the serving port and the sidecar
 		}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

@@ -17,11 +17,17 @@
 // with the same flags plus -resume continues from the last snapshot.
 // (-warm-start is different: it seeds a fresh run from yesterday's model,
 // the paper's daily incremental update.)
+//
+// Observability: -metrics prints periodic progress lines (pairs/sec,
+// tokens/sec, current LR, ETA) during training; -pprof-addr exposes
+// net/http/pprof plus a Prometheus /metrics page on a sidecar listener,
+// so a long daily-update run can be profiled and scraped while it works.
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
@@ -29,10 +35,23 @@ import (
 	"sisg/internal/dist"
 	"sisg/internal/emb"
 	"sisg/internal/experiments"
+	"sisg/internal/metrics"
 	"sisg/internal/seqio"
 	"sisg/internal/sgns"
 	"sisg/internal/sisg"
 )
+
+// logProgress renders one live training snapshot as a log line.
+func logProgress(p sgns.Progress) {
+	if p.Done {
+		log.Printf("progress: done: %d pairs, %d tokens in %v",
+			p.Pairs, p.Tokens, p.Elapsed.Round(time.Millisecond))
+		return
+	}
+	log.Printf("progress: %3.0f%% epoch %d/%d | %.0f pairs/s, %.0f tokens/s | lr %.5f | ETA %v",
+		100*p.Fraction(), p.Epoch+1, p.Epochs,
+		p.PairsPerSec, p.TokensPerSec, p.LR, p.ETA.Round(time.Second))
+}
 
 func main() {
 	log.SetFlags(0)
@@ -54,8 +73,19 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for crash-recovery snapshots (empty = no checkpointing)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 1_000_000, "snapshot roughly every N trained pairs")
 		resume     = flag.Bool("resume", false, "resume from the snapshot in -checkpoint-dir if one exists")
+		showProg   = flag.Bool("metrics", false, "print periodic training progress lines (pairs/sec, tokens/sec, LR, ETA)")
+		progEvery  = flag.Duration("metrics-every", 2*time.Second, "progress reporting interval for -metrics")
+		pprofAddr  = flag.String("pprof-addr", "", "expose net/http/pprof and /metrics on this sidecar address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof + metrics sidecar on http://%s/debug/pprof/ and /metrics", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, metrics.DebugMux(reg)))
+		}()
+	}
 
 	cfg, err := experiments.CorpusByName(*corpusName)
 	if err != nil {
@@ -101,6 +131,10 @@ func main() {
 	if *resume && *ckptDir == "" {
 		log.Fatal("-resume needs -checkpoint-dir")
 	}
+	if *showProg {
+		opt.Progress = logProgress
+		opt.ProgressEvery = *progEvery
+	}
 
 	start := time.Now()
 	var model *sisg.Model
@@ -135,6 +169,7 @@ func main() {
 		// TrainOptions replaced the embedded sgns.Options wholesale, and with
 		// it the Workers field DefaultOptions had set from the flag.
 		dopt.Workers = *workers
+		dopt.Metrics = reg // live train_* gauges on the -pprof-addr /metrics page
 		dmodel, st, err := dist.Train(ds.Dict.Dict, seqs, part, dopt)
 		if err != nil {
 			log.Fatal(err)

@@ -34,6 +34,7 @@ import (
 	"sisg/internal/corpus"
 	"sisg/internal/emb"
 	"sisg/internal/graph"
+	"sisg/internal/metrics"
 	"sisg/internal/sgns"
 	"sisg/internal/vocab"
 )
@@ -83,6 +84,14 @@ type Options struct {
 
 	// Cost holds the cluster cost model used to compute SimElapsed.
 	Cost CostModel
+
+	// Metrics, when non-nil, mirrors the engine's live counters — pairs,
+	// retries, degraded pairs, dropped pairs, dead workers, current LR —
+	// into the registry as gauges, sampled at scrape time. The embedded
+	// sgns.Options.Progress sink (if set) additionally receives periodic
+	// Progress snapshots, exactly like the local trainer's. Both are
+	// observers only: nil values leave the run bit-identical.
+	Metrics *metrics.Registry
 }
 
 // FaultPlan injects reproducible failures into a run: a worker crash at an

@@ -356,6 +356,7 @@ func subsampleKeep(dict *vocab.Dict, counts []uint64, total uint64, t, siBoost f
 // merges hot replicas back into the model, and aggregates statistics.
 func (e *engine) run() (*emb.Model, Stats, error) {
 	start := time.Now()
+	stopObservers := e.startObservers()
 	e.monWG.Add(1)
 	go e.monitor()
 
@@ -386,6 +387,7 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 	wg.Wait()
 	close(e.stopMon)
 	e.monWG.Wait()
+	stopObservers() // final Done progress snapshot; registry gauges stay readable
 
 	// A crashed worker may have been overlooked by the monitor if the run
 	// ended before its silence threshold; the final accounting is
@@ -410,15 +412,15 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 		PairsPerWorker: make([]uint64, e.opt.Workers),
 	}
 	for i, wk := range e.workers {
-		st.Pairs += wk.pairs
-		st.LocalPairs += wk.localPairs
-		st.RemotePairs += wk.remotePairs
-		st.BytesSent += wk.bytesSent
-		st.HotSyncs += wk.hotSyncs
-		st.Retries += wk.retries
-		st.Degraded += wk.degraded
-		st.DroppedPairs += wk.droppedPairs
-		st.PairsPerWorker[i] = wk.pairs
+		st.Pairs += wk.pairs.Load()
+		st.LocalPairs += wk.localPairs.Load()
+		st.RemotePairs += wk.remotePairs.Load()
+		st.BytesSent += wk.bytesSent.Load()
+		st.HotSyncs += wk.hotSyncs.Load()
+		st.Retries += wk.retries.Load()
+		st.Degraded += wk.degraded.Load()
+		st.DroppedPairs += wk.droppedPairs.Load()
+		st.PairsPerWorker[i] = wk.pairs.Load()
 		if e.dead[i].Load() {
 			st.DeadWorkers = append(st.DeadWorkers, i)
 		}
@@ -477,7 +479,7 @@ var errAbortHook = errors.New("dist: run aborted by test hook")
 func (e *engine) totalPairs() uint64 {
 	var p uint64
 	for _, wk := range e.workers {
-		p += wk.pairs
+		p += wk.pairs.Load()
 	}
 	return p
 }
@@ -583,11 +585,11 @@ func (e *engine) simElapsed() time.Duration {
 
 	var worst float64
 	for _, wk := range e.workers {
-		compute := float64(wk.pairs-wk.remotePairs+wk.servedPairs) * pairNs
+		compute := float64(wk.pairs.Load()-wk.remotePairs.Load()+wk.servedPairs.Load()) * pairNs
 		// The requester also pays the (overlapped) round-trip latency and
 		// its share of NIC time.
-		comm := float64(wk.remotePairs)*cm.RemoteRTTNs +
-			float64(wk.bytesSent)/cm.BandwidthBytes*1e9
+		comm := float64(wk.remotePairs.Load())*cm.RemoteRTTNs +
+			float64(wk.bytesSent.Load())/cm.BandwidthBytes*1e9
 		if t := compute + comm; t > worst {
 			worst = t
 		}
@@ -613,9 +615,9 @@ func (e *engine) hotSync(w *worker) {
 		copy(w.hotOutBase[i], e.hotOut[i])
 	}
 	e.hotMu.Unlock()
-	w.hotSyncs++
+	w.hotSyncs.Add(1)
 	// Simulated cost: full hot set both directions.
-	w.bytesSent += uint64(len(e.hotIDs)) * uint64(e.opt.Dim) * 4 * 2
+	w.bytesSent.Add(uint64(len(e.hotIDs)) * uint64(e.opt.Dim) * 4 * 2)
 }
 
 func applyDelta(global, local, base []float32) {

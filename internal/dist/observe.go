@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"sisg/internal/metrics"
+	"sisg/internal/sgns"
+)
+
+// Observability for the distributed engine: a live Progress feed (shared
+// sink type with the local sgns trainer) and a registry mirror exposing
+// the run's counters — including PR 1's fault-tolerance accounting — as
+// pull-based gauges. Both sample the workers' atomic counters; neither
+// touches the training hot path.
+
+// liveStats reads the cluster-wide cumulative counters mid-run.
+func (e *engine) liveStats() (pairs, retries, degraded, dropped uint64) {
+	for _, wk := range e.workers {
+		pairs += wk.pairs.Load()
+		retries += wk.retries.Load()
+		degraded += wk.degraded.Load()
+		dropped += wk.droppedPairs.Load()
+	}
+	return
+}
+
+// liveDeadWorkers counts workers currently flagged dead.
+func (e *engine) liveDeadWorkers() int {
+	n := 0
+	for i := range e.dead {
+		if e.dead[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// liveLR recomputes the current decayed learning rate from the shared scan
+// counter — the same formula every worker applies in scanSequence.
+func (e *engine) liveLR() float32 {
+	done := e.scanTokens.Load()
+	f := 1 - float32(float64(done)/float64(e.totalTokens*uint64(e.opt.Workers)))
+	if f < e.opt.MinLRFrac {
+		f = e.opt.MinLRFrac
+	}
+	return e.opt.LR * f
+}
+
+// registerMetrics mirrors the engine's counters into the registry as
+// gauges. GaugeFunc registration replaces any previous run's closure, so a
+// long-lived registry (a serving process retraining daily) always reads
+// the newest run.
+func (e *engine) registerMetrics(reg *metrics.Registry) {
+	gauges := []struct {
+		name, help string
+		fn         func() float64
+	}{
+		{"train_pairs", "positive pairs trained so far", func() float64 { p, _, _, _ := e.liveStats(); return float64(p) }},
+		{"train_retries", "remote TNS re-sends after a deadline expired", func() float64 { _, r, _, _ := e.liveStats(); return float64(r) }},
+		{"train_degraded", "pairs trained against local noise only after retries were exhausted", func() float64 { _, _, d, _ := e.liveStats(); return float64(d) }},
+		{"train_dropped_pairs", "pairs lost to dead workers, untrained cluster-wide", func() float64 { _, _, _, d := e.liveStats(); return float64(d) }},
+		{"train_dead_workers", "workers crashed or declared dead by the heartbeat monitor", func() float64 { return float64(e.liveDeadWorkers()) }},
+		{"train_tokens", "corpus tokens scanned so far, summed over workers", func() float64 { return float64(e.scanTokens.Load()) }},
+		{"train_lr", "current decayed learning rate", func() float64 { return float64(e.liveLR()) }},
+		{"train_workers", "configured worker count", func() float64 { return float64(e.opt.Workers) }},
+	}
+	for _, g := range gauges {
+		reg.GaugeFunc(g.name, g.help, g.fn)
+	}
+}
+
+// startObservers wires the optional registry mirror and progress reporter;
+// the returned stop emits the final Done snapshot and is safe to call with
+// no observers configured.
+func (e *engine) startObservers() (stop func()) {
+	if e.opt.Metrics != nil {
+		e.registerMetrics(e.opt.Metrics)
+	}
+	if e.opt.Progress == nil {
+		return func() {}
+	}
+	// Every worker scans the whole corpus, so the run's total scan volume
+	// is corpus × epochs × workers; the epoch estimate divides by one
+	// cluster-wide pass. (Workers move through epochs independently, so
+	// mid-run this is an average, not a barrier-aligned position.)
+	totalScan := e.totalTokens * uint64(e.opt.Workers)
+	perEpoch := totalScan / uint64(e.opt.Epochs)
+	if perEpoch == 0 {
+		perEpoch = 1
+	}
+	return sgns.StartProgress(e.opt.Progress, e.opt.ProgressEvery, e.opt.Epochs, totalScan,
+		func() (epoch int, pairs, tokens uint64, lr float32) {
+			p, _, _, _ := e.liveStats()
+			tok := e.scanTokens.Load()
+			ep := int(tok / perEpoch)
+			if ep >= e.opt.Epochs {
+				ep = e.opt.Epochs - 1
+			}
+			return ep, p, tok, e.liveLR()
+		})
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"sync/atomic"
 	"time"
 
 	"sisg/internal/alias"
@@ -54,14 +55,17 @@ type worker struct {
 	stalled  bool
 
 	// Counters (merged by the engine after the run; the first nine are
-	// persisted in checkpoints — see saveCounters).
-	pairs, localPairs, remotePairs uint64
-	servedPairs                    uint64
-	bytesSent                      uint64
-	hotSyncs                       uint64
-	retries, degraded              uint64
-	droppedPairs                   uint64
-	sincSync                       int
+	// persisted in checkpoints — see saveCounters). Atomic because the
+	// progress reporter and registry gauges sample them mid-run; each
+	// counter is only ever WRITTEN by its own worker goroutine, so the
+	// atomics cost one uncontended add per event.
+	pairs, localPairs, remotePairs atomic.Uint64
+	servedPairs                    atomic.Uint64
+	bytesSent                      atomic.Uint64
+	hotSyncs                       atomic.Uint64
+	retries, degraded              atomic.Uint64
+	droppedPairs                   atomic.Uint64
+	sincSync                       int // scan-local, never sampled
 }
 
 func newWorker(e *engine, id int, r *rng.RNG) (*worker, error) {
@@ -105,13 +109,15 @@ func newWorker(e *engine, id int, r *rng.RNG) (*worker, error) {
 // saveCounters returns the worker's persistent counters in checkpoint
 // order; restoreCounters is its inverse. workerCounterLen must match.
 func (w *worker) saveCounters() []uint64 {
-	return []uint64{w.pairs, w.localPairs, w.remotePairs, w.servedPairs,
-		w.bytesSent, w.hotSyncs, w.retries, w.degraded, w.droppedPairs}
+	return []uint64{w.pairs.Load(), w.localPairs.Load(), w.remotePairs.Load(), w.servedPairs.Load(),
+		w.bytesSent.Load(), w.hotSyncs.Load(), w.retries.Load(), w.degraded.Load(), w.droppedPairs.Load()}
 }
 
 func (w *worker) restoreCounters(c []uint64) {
-	w.pairs, w.localPairs, w.remotePairs, w.servedPairs = c[0], c[1], c[2], c[3]
-	w.bytesSent, w.hotSyncs, w.retries, w.degraded, w.droppedPairs = c[4], c[5], c[6], c[7], c[8]
+	for i, dst := range []*atomic.Uint64{&w.pairs, &w.localPairs, &w.remotePairs, &w.servedPairs,
+		&w.bytesSent, &w.hotSyncs, &w.retries, &w.degraded, &w.droppedPairs} {
+		dst.Store(c[i])
+	}
 }
 
 // run scans the corpus for opt.Epochs (in blocks, with a barrier after
@@ -266,7 +272,7 @@ func (w *worker) scanSequence(seq []int32) {
 				// dead, the pair is lost cluster-wide; exactly one
 				// survivor accounts it (see countsDropsFor).
 				if e.anyDead.Load() && e.dead[p].Load() && w.countsDropsFor(p) {
-					w.droppedPairs++
+					w.droppedPairs.Add(1)
 				}
 				continue
 			}
@@ -318,31 +324,31 @@ func (w *worker) processor(vi, vj int32) int32 {
 // fire here, on the pair counter, so a plan replays exactly under a seed.
 func (w *worker) trainPair(vi, vj int32) {
 	e := w.e
-	if w.crashAt > 0 && w.pairs >= w.crashAt {
+	if w.crashAt > 0 && w.pairs.Load() >= w.crashAt {
 		w.crashed = true
 		return
 	}
-	if w.stallAt > 0 && !w.stalled && w.pairs >= w.stallAt {
+	if w.stallAt > 0 && !w.stalled && w.pairs.Load() >= w.stallAt {
 		w.stalled = true
 		time.Sleep(w.stallFor)
 	}
 	e.heartbeat[w.id].Add(1)
-	w.pairs++
+	w.pairs.Add(1)
 	vin := e.rowIn(w, vi)
 	local := e.hotIdx[vj] >= 0 || e.owner[vj] == w.id
 	if local {
-		w.localPairs++
+		w.localPairs.Add(1)
 		grad := w.tns(vin, vj, w.lr, w.r)
 		vecmath.Add(grad, vin)
 	} else if dst := e.owner[vj]; e.isDead(dst) {
 		// Known-dead owner: skip the network entirely and degrade.
-		w.degraded++
+		w.degraded.Add(1)
 		w.degradePair(vin, vj)
 	} else if grad, ok := w.remoteCall(dst, vin, vj); ok {
-		w.remotePairs++
+		w.remotePairs.Add(1)
 		vecmath.Add(grad, vin)
 	} else {
-		w.degraded++
+		w.degraded.Add(1)
 		w.degradePair(vin, vj)
 	}
 	w.sincSync++
@@ -445,7 +451,7 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 	}
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			w.retries++
+			w.retries.Add(1)
 		}
 		if e.isDead(dst) {
 			return nil, false
@@ -464,7 +470,7 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 		timer := time.NewTimer(timeout)
 		expired := false
 		if dropped {
-			w.bytesSent += uint64(len(vin))*4 + 8
+			w.bytesSent.Add(uint64(len(vin))*4 + 8)
 			for !expired {
 				select {
 				case in := <-e.reqCh[w.id]:
@@ -492,12 +498,12 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 				}
 			}
 			if sent {
-				w.bytesSent += uint64(len(vin))*4 + 8
+				w.bytesSent.Add(uint64(len(vin))*4 + 8)
 				for !expired {
 					select {
 					case grad := <-req.reply:
 						timer.Stop()
-						w.bytesSent += uint64(len(grad)) * 4
+						w.bytesSent.Add(uint64(len(grad)) * 4)
 						return grad, true
 					case in := <-e.reqCh[w.id]:
 						w.serve(in)
@@ -523,7 +529,7 @@ func (w *worker) serve(req *tnsReq) {
 		time.Sleep(w.opt.SlowWorkerDelay)
 	}
 	w.e.heartbeat[w.id].Add(1)
-	w.servedPairs++
+	w.servedPairs.Add(1)
 	grad := w.tns(req.vec, req.ctx, req.lr, w.srng)
 	req.reply <- append([]float32(nil), grad...)
 }

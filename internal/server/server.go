@@ -2,22 +2,30 @@
 // production surface that hands candidate sets to the ranking stage. It
 // covers the paper's three retrieval paths — item-to-item similarity (§II),
 // cold-start items via Eq. 6 (§IV-C2) and cold-start users via user-type
-// averaging (§IV-C1) — plus liveness and serving statistics.
+// averaging (§IV-C1) — plus liveness, serving statistics and a Prometheus
+// /metrics exposition.
+//
+// Cold-start endpoints accept both GET (catalog items / demographic query
+// parameters) and POST (a JSON body naming raw SI tokens or demographics),
+// because the production cold-start case is precisely an item or user the
+// catalog does not know yet.
 //
 // The package is the testable core behind cmd/sisg-server.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"sisg/internal/corpus"
 	"sisg/internal/knn"
+	"sisg/internal/metrics"
 	"sisg/internal/sisg"
 )
 
@@ -31,7 +39,8 @@ type Candidate struct {
 	Tier  int8    `json:"tier"`
 }
 
-// Stats are cumulative serving counters, exposed at /stats.
+// Stats are cumulative serving counters, exposed at /stats (JSON) and, in
+// richer form, at /metrics (Prometheus text format).
 type Stats struct {
 	Similar      uint64 `json:"similar"`
 	ColdItem     uint64 `json:"cold_item"`
@@ -57,6 +66,13 @@ type Config struct {
 	// RetryAfter is the back-off advertised on shed responses, rounded up
 	// to whole seconds (<=0 means 1s).
 	RetryAfter time.Duration
+	// Metrics is the registry the server instruments itself on. Nil means
+	// a private registry; pass a shared one to co-locate serving and
+	// training series in a single /metrics page.
+	Metrics *metrics.Registry
+	// LatencyBuckets overrides the request-latency histogram bounds
+	// (seconds, ascending). Nil means metrics.DefBuckets.
+	LatencyBuckets []float64
 }
 
 func (c Config) withDefaults() Config {
@@ -72,7 +88,17 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
 	return c
+}
+
+// endpointMetrics is the pre-registered per-endpoint instrument set, so the
+// request path never takes the registry lock.
+type endpointMetrics struct {
+	latency *metrics.Histogram
+	codes   map[string]*metrics.Counter // "2xx", "3xx", "4xx", "5xx"
 }
 
 // Server serves one trained model over one catalog.
@@ -83,12 +109,24 @@ type Server struct {
 	cfg   Config
 	sem   chan struct{} // concurrency limiter; holds MaxInFlight tokens
 
-	similar      atomic.Uint64
-	coldItem     atomic.Uint64
-	coldUser     atomic.Uint64
-	clientErrors atomic.Uint64
-	panics       atomic.Uint64
-	shed         atomic.Uint64
+	reg *metrics.Registry
+	// Serving counters (registry-backed; Stats() snapshots them).
+	similar      *metrics.Counter
+	coldItem     *metrics.Counter
+	coldUser     *metrics.Counter
+	clientErrors *metrics.Counter
+	panics       *metrics.Counter
+	shed         *metrics.Counter
+
+	endpoints map[string]*endpointMetrics
+}
+
+// knownPaths are the routes instrumented with their own label value;
+// anything else shares the "other" series so label cardinality stays
+// bounded no matter what clients probe.
+var knownPaths = []string{
+	"/similar", "/coldstart/item", "/coldstart/user",
+	"/healthz", "/stats", "/metrics",
 }
 
 // New returns a server for the given dataset and model with default
@@ -101,11 +139,40 @@ func New(ds *corpus.Dataset, model *sisg.Model, maxK int) *Server {
 // NewConfigured returns a server with explicit hardening limits.
 func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	reg := cfg.Metrics
+	s := &Server{
 		ds: ds, model: model, maxK: cfg.MaxK, cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxInFlight),
+		reg: reg,
+
+		similar:      reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/similar")),
+		coldItem:     reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/coldstart/item")),
+		coldUser:     reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/coldstart/user")),
+		clientErrors: reg.Counter("http_client_errors_total", "requests rejected 400 for malformed input"),
+		panics:       reg.Counter("http_panics_total", "requests answered 500 after a recovered handler panic"),
+		shed:         reg.Counter("http_shed_total", "requests answered 503 by the concurrency limiter"),
+
+		endpoints: make(map[string]*endpointMetrics, len(knownPaths)+1),
 	}
+	for _, p := range append(append([]string(nil), knownPaths...), "other") {
+		em := &endpointMetrics{
+			latency: reg.Histogram("http_request_duration_seconds", "request handling latency", cfg.LatencyBuckets, metrics.L("path", p)),
+			codes:   make(map[string]*metrics.Counter, 4),
+		}
+		for _, cls := range []string{"2xx", "3xx", "4xx", "5xx"} {
+			em.codes[cls] = reg.Counter("http_requests_total", "requests handled, by path and status class",
+				metrics.L("path", p), metrics.L("code", cls))
+		}
+		s.endpoints[p] = em
+	}
+	reg.GaugeFunc("http_inflight", "requests currently executing", func() float64 {
+		return float64(len(s.sem))
+	})
+	return s
 }
+
+// Registry returns the metrics registry the server reports on.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Handler returns the routed HTTP handler wrapped in the hardening chain.
 func (s *Server) Handler() http.Handler {
@@ -115,16 +182,74 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/coldstart/user", s.handleColdUser)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.reg.Handler())
 	return s.harden(mux)
 }
 
 // harden wraps a handler in the protection chain, outermost first: panic
 // recovery (a handler bug answers 500 and is counted, instead of killing
-// the whole process), load shedding (overload answers 503 + Retry-After
-// immediately), and a per-request deadline (one stuck request cannot hold
-// a connection forever).
+// the whole process), per-endpoint instrumentation (so shed, timed-out and
+// panicking requests are all measured), load shedding (overload answers
+// 503 + Retry-After immediately), and a per-request deadline (one stuck
+// request cannot hold a connection forever).
 func (s *Server) harden(h http.Handler) http.Handler {
-	return s.withRecovery(s.withLimit(http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")))
+	return s.withRecovery(s.instrument(s.withLimit(http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out"))))
+}
+
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument records one latency observation and one status-class count per
+// request, labeled by endpoint. It sits INSIDE the recovery wrapper so a
+// panicking request is still measured (as a 5xx): the deferred accounting
+// runs while the panic unwinds, before withRecovery converts it to a 500.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		em, ok := s.endpoints[r.URL.Path]
+		if !ok {
+			em = s.endpoints["other"]
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		finished := false
+		defer func() {
+			em.latency.ObserveSince(start)
+			code := rec.code
+			if !finished && code == 0 {
+				// Panic in flight before anything was written; the
+				// recovery wrapper above will answer 500.
+				code = http.StatusInternalServerError
+			}
+			if code == 0 {
+				code = http.StatusOK
+			}
+			cls := strconv.Itoa(code/100) + "xx"
+			if c, ok := em.codes[cls]; ok {
+				c.Inc()
+			} else {
+				em.codes["5xx"].Inc()
+			}
+		}()
+		h.ServeHTTP(rec, r)
+		finished = true
+	})
 }
 
 // withRecovery converts a handler panic into a 500 plus a counter bump.
@@ -137,7 +262,7 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 				if p == http.ErrAbortHandler {
 					panic(p)
 				}
-				s.panics.Add(1)
+				s.panics.Inc()
 				http.Error(w, "internal server error", http.StatusInternalServerError)
 			}
 		}()
@@ -155,7 +280,7 @@ func (s *Server) withLimit(h http.Handler) http.Handler {
 			defer func() { <-s.sem }()
 			h.ServeHTTP(w, r)
 		default:
-			s.shed.Add(1)
+			s.shed.Inc()
 			w.Header().Set("Retry-After", retryAfter)
 			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
 		}
@@ -165,12 +290,12 @@ func (s *Server) withLimit(h http.Handler) http.Handler {
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Similar:      s.similar.Load(),
-		ColdItem:     s.coldItem.Load(),
-		ColdUser:     s.coldUser.Load(),
-		ClientErrors: s.clientErrors.Load(),
-		Panics:       s.panics.Load(),
-		Shed:         s.shed.Load(),
+		Similar:      s.similar.Value(),
+		ColdItem:     s.coldItem.Value(),
+		ColdUser:     s.coldUser.Value(),
+		ClientErrors: s.clientErrors.Value(),
+		Panics:       s.panics.Value(),
+		Shed:         s.shed.Value(),
 	}
 }
 
@@ -193,46 +318,96 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.similar.Add(1)
+	s.similar.Inc()
 	s.writeCandidates(w, s.model.SimilarItems(item, k))
 }
 
+// coldItemRequest is the POST body of /coldstart/item: a brand-new item
+// known only by its SI token names (Eq. 6 needs nothing else).
+type coldItemRequest struct {
+	SI []string `json:"si"`
+	K  int      `json:"k"`
+}
+
 func (s *Server) handleColdItem(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		var req coldItemRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		k, ok := s.boundK(w, req.K)
+		if !ok {
+			return
+		}
+		if len(req.SI) == 0 {
+			s.clientError(w, "si must name at least one side-information token")
+			return
+		}
+		qv, err := s.model.ColdStartItemVectorFromNames(req.SI)
+		if err != nil {
+			s.clientError(w, "%v", err)
+			return
+		}
+		s.coldItem.Inc()
+		s.writeCandidates(w, s.model.SimilarToVector(qv, k, nil))
+		return
+	}
 	item, k, ok := s.itemAndK(w, r)
 	if !ok {
 		return
 	}
-	s.coldItem.Add(1)
+	s.coldItem.Inc()
 	qv := s.model.ColdStartItemVector(s.ds.Dict.ItemSI[item])
 	s.writeCandidates(w, s.model.SimilarToVector(qv, k, func(id int32) bool { return id == item }))
 }
 
+// coldUserRequest is the POST body of /coldstart/user. Age and Power are
+// pointers so "absent" (match any) is distinguishable from index 0.
+type coldUserRequest struct {
+	Gender string `json:"gender"`
+	Age    *int   `json:"age"`
+	Power  *int   `json:"power"`
+	K      int    `json:"k"`
+}
+
 func (s *Server) handleColdUser(w http.ResponseWriter, r *http.Request) {
-	k, ok := s.kParam(w, r)
-	if !ok {
-		return
-	}
-	gender := -1
-	if g := r.URL.Query().Get("gender"); g != "" {
-		for i, name := range corpus.Genders {
-			if name == g {
-				gender = i
-			}
-		}
-		if gender < 0 {
-			s.clientError(w, "unknown gender %q (want F, M or null)", g)
+	var (
+		k, gender, age, power int
+		ok                    bool
+	)
+	if r.Method == http.MethodPost {
+		var req coldUserRequest
+		if !s.decodeBody(w, r, &req) {
 			return
 		}
-	}
-	age, ok := intParam(r, "age", -1)
-	if !ok {
-		s.clientError(w, "age is not an integer")
-		return
-	}
-	power, ok := intParam(r, "power", -1)
-	if !ok {
-		s.clientError(w, "power is not an integer")
-		return
+		if k, ok = s.boundK(w, req.K); !ok {
+			return
+		}
+		if gender, ok = s.genderIndex(w, req.Gender); !ok {
+			return
+		}
+		age, power = -1, -1
+		if req.Age != nil {
+			age = *req.Age
+		}
+		if req.Power != nil {
+			power = *req.Power
+		}
+	} else {
+		if k, ok = s.kParam(w, r); !ok {
+			return
+		}
+		if gender, ok = s.genderIndex(w, r.URL.Query().Get("gender")); !ok {
+			return
+		}
+		if age, ok = intParam(r, "age", -1); !ok {
+			s.clientError(w, "age is not an integer")
+			return
+		}
+		if power, ok = intParam(r, "power", -1); !ok {
+			s.clientError(w, "power is not an integer")
+			return
+		}
 	}
 	types := s.ds.Pop.TypesMatching(gender, age, power)
 	recs, err := s.model.RecommendForColdUser(types, k)
@@ -240,8 +415,43 @@ func (s *Server) handleColdUser(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, "%v", err)
 		return
 	}
-	s.coldUser.Add(1)
+	s.coldUser.Inc()
 	s.writeCandidates(w, recs)
+}
+
+// genderIndex resolves a gender name to its index (-1 for "any" when
+// empty); unknown names are a client error.
+func (s *Server) genderIndex(w http.ResponseWriter, g string) (int, bool) {
+	if g == "" {
+		return -1, true
+	}
+	for i, name := range corpus.Genders {
+		if name == g {
+			return i, true
+		}
+	}
+	s.clientError(w, "unknown gender %q (want F, M or null)", g)
+	return 0, false
+}
+
+// maxBodyBytes bounds cold-start POST bodies; a list of SI token names has
+// no business being larger.
+const maxBodyBytes = 1 << 20
+
+// decodeBody parses a JSON POST body strictly: unknown fields, trailing
+// garbage, oversized and unparseable bodies are all client errors.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.clientError(w, "bad request body: %v", err)
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		s.clientError(w, "bad request body: trailing data after JSON object")
+		return false
+	}
+	return true
 }
 
 func (s *Server) itemAndK(w http.ResponseWriter, r *http.Request) (int32, int, bool) {
@@ -256,6 +466,19 @@ func (s *Server) itemAndK(w http.ResponseWriter, r *http.Request) (int32, int, b
 	}
 	k, kok := s.kParam(w, r)
 	return int32(item), k, kok
+}
+
+// boundK validates a candidate-set size from a POST body: 0 means the
+// default (20); anything else must fall in (0, maxK].
+func (s *Server) boundK(w http.ResponseWriter, k int) (int, bool) {
+	if k == 0 {
+		return 20, true
+	}
+	if k < 0 || k > s.maxK {
+		s.clientError(w, "k must be an integer in (0,%d]", s.maxK)
+		return 0, false
+	}
+	return k, true
 }
 
 func (s *Server) kParam(w http.ResponseWriter, r *http.Request) (int, bool) {
@@ -277,13 +500,13 @@ func (s *Server) writeCandidates(w http.ResponseWriter, recs []knn.Result) {
 }
 
 func (s *Server) clientError(w http.ResponseWriter, format string, args ...interface{}) {
-	s.clientErrors.Add(1)
+	s.clientErrors.Inc()
 	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
 }
 
 // intParam returns the integer query parameter, the default when absent,
-// and ok=false when present but unparseable (a client error, never a
-// silent fallback).
+// and ok=false when present but unparseable or overflowing (a client
+// error, never a silent fallback).
 func intParam(r *http.Request, name string, def int) (int, bool) {
 	v := r.URL.Query().Get(name)
 	if v == "" {

@@ -1,0 +1,106 @@
+package sgns
+
+import (
+	"time"
+)
+
+// Progress is one live snapshot of a training run, delivered to a
+// ProgressFunc sink at a fixed cadence while training is in flight, plus a
+// final snapshot (Done=true) when the reporting stops. Both the local
+// Hogwild trainer and the distributed engine (internal/dist) report
+// through this type, so one sink implementation — a log line in
+// cmd/sisg-train, registry gauges when serving — covers both.
+type Progress struct {
+	Epoch  int // current epoch (0-based; approximate for the distributed engine)
+	Epochs int // total epochs configured
+
+	Pairs       uint64 // positive pairs trained so far
+	Tokens      uint64 // corpus tokens consumed so far (post-scan, pre-subsampling)
+	TotalTokens uint64 // tokens the full run will consume (corpus × epochs)
+
+	PairsPerSec  float64 // averaged since the previous report
+	TokensPerSec float64 // averaged since the previous report
+
+	LR      float32       // current (decayed) learning rate
+	Elapsed time.Duration // wall time since training started
+	ETA     time.Duration // remaining time, from the average rate so far
+	Done    bool          // final report: training (or the run) ended
+}
+
+// Fraction returns completed work in [0,1], by tokens.
+func (p Progress) Fraction() float64 {
+	if p.TotalTokens == 0 {
+		return 0
+	}
+	f := float64(p.Tokens) / float64(p.TotalTokens)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// ProgressFunc consumes progress snapshots. It is called from a dedicated
+// reporter goroutine, never from the training hot path, so a slow sink
+// (logging, a lagging scrape) cannot stall training — but implementations
+// must still be safe to call concurrently with the run.
+type ProgressFunc func(Progress)
+
+// StartProgress launches the reporter goroutine: every interval (default
+// 2s) it samples the run via read (which must be cheap and safe to call
+// concurrently with training — it reads atomics), derives rates and ETA,
+// and calls sink. The returned stop function emits one final Done
+// snapshot, waits for the goroutine to exit, and is idempotent. It is
+// exported because the distributed engine (internal/dist) reports through
+// the same machinery.
+func StartProgress(sink ProgressFunc, every time.Duration, epochs int, totalTokens uint64,
+	read func() (epoch int, pairs, tokens uint64, lr float32)) (stop func()) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		start := time.Now()
+		_, prevPairs, prevTokens, _ := read()
+		prevT := start
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		emit := func(final bool) {
+			now := time.Now()
+			epoch, pairs, tokens, lr := read()
+			p := Progress{
+				Epoch: epoch, Epochs: epochs,
+				Pairs: pairs, Tokens: tokens, TotalTokens: totalTokens,
+				LR: lr, Elapsed: now.Sub(start), Done: final,
+			}
+			if dt := now.Sub(prevT).Seconds(); dt > 0 {
+				p.PairsPerSec = float64(pairs-prevPairs) / dt
+				p.TokensPerSec = float64(tokens-prevTokens) / dt
+			}
+			if tokens > 0 && tokens < totalTokens {
+				p.ETA = time.Duration(float64(p.Elapsed) * float64(totalTokens-tokens) / float64(tokens))
+			}
+			prevPairs, prevTokens, prevT = pairs, tokens, now
+			sink(p)
+		}
+		for {
+			select {
+			case <-stopCh:
+				emit(true)
+				return
+			case <-tick.C:
+				emit(false)
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(stopCh)
+		<-doneCh
+	}
+}

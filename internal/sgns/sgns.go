@@ -69,6 +69,13 @@ type Options struct {
 	CheckpointDir   string
 	CheckpointEvery uint64
 	Resume          bool
+
+	// Progress, when non-nil, receives live training snapshots (pairs/sec,
+	// tokens/sec, current LR, ETA) every ProgressEvery (default 2s) from a
+	// dedicated reporter goroutine, plus a final Done snapshot. Nil keeps
+	// the trainer silent and reporter-free, exactly as before.
+	Progress      ProgressFunc
+	ProgressEvery time.Duration
 }
 
 // Defaults returns the option set used by the offline experiments.
@@ -98,6 +105,9 @@ func Defaults() Options {
 func (o Options) Fingerprint(extra ...interface{}) uint64 {
 	c := o
 	c.CheckpointDir, c.CheckpointEvery, c.Resume = "", 0, false
+	// Observability knobs are not run identity either — and a func value
+	// would stringify as an address, making the hash nondeterministic.
+	c.Progress, c.ProgressEvery = nil, 0
 	vs := append([]interface{}{fmt.Sprintf("%+v", c)}, extra...)
 	return checkpoint.HashOptions(vs...)
 }
@@ -288,7 +298,18 @@ func trainInto(model *emb.Model, dict *vocab.Dict, seqs [][]int32, opt Options) 
 	}
 
 	start := time.Now()
+	var curEpoch atomic.Int32
+	curEpoch.Store(int32(startEpoch))
+	if opt.Progress != nil {
+		stop := StartProgress(opt.Progress, opt.ProgressEvery, opt.Epochs, totalTokens,
+			func() (int, uint64, uint64, float32) {
+				d := doneTokens.Load()
+				return int(curEpoch.Load()), pairs.Load(), d, decayLR(opt.LR, opt.MinLRFrac, d, totalTokens)
+			})
+		defer stop() // emits the final Done snapshot, on error paths too
+	}
 	for epoch := startEpoch; epoch < opt.Epochs; epoch++ {
+		curEpoch.Store(int32(epoch))
 		b0 := 0
 		if epoch == startEpoch {
 			b0 = startBlock
@@ -309,12 +330,16 @@ func trainInto(model *emb.Model, dict *vocab.Dict, seqs [][]int32, opt Options) 
 					// this is the same per-shard order as the unblocked
 					// `for i := shard; i < len(seqs); i += workers` loop.
 					first := lo + (shard-lo%workers+workers)%workers
+					// Shard tallies flush into the shared counters per
+					// sequence (not per block) so the progress reporter sees
+					// pairs move continuously; two uncontended atomic adds
+					// against hundreds of pair updates is noise.
 					for i := first; i < hi; i += workers {
 						ws.trainSequence(seqs[i], &doneTokens, totalTokens)
+						pairs.Add(ws.pairs)
+						updates.Add(ws.updates)
+						ws.pairs, ws.updates = 0, 0
 					}
-					pairs.Add(ws.pairs)
-					updates.Add(ws.updates)
-					ws.pairs, ws.updates = 0, 0
 				}(w, states[w])
 			}
 			wg.Wait()
