@@ -7,7 +7,14 @@
 //	GET /coldstart/user?gender=F&age=2&power=1&k=20
 //	                                    user-type averaging (§IV-C1)
 //	GET /healthz, /stats                liveness and serving counters
+//	GET /readyz                         readiness (503 while loading/draining)
 //	GET /metrics                        Prometheus text exposition
+//
+// The listener binds immediately: while the corpus generates and the model
+// trains or loads, /healthz already answers 200 (the process is alive) and
+// /readyz answers 503 (do not route traffic yet). During graceful shutdown
+// the same split holds — /readyz goes 503 first, then in-flight requests
+// drain — so a load balancer always has an honest routing signal.
 //
 // With -pprof-addr a sidecar listener additionally serves net/http/pprof
 // and the same /metrics registry, kept off the production port.
@@ -15,12 +22,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -57,6 +66,22 @@ func main() {
 			log.Fatal(http.ListenAndServe(*pprofAddr, metrics.DebugMux(reg)))
 		}()
 	}
+
+	// Bind the listener before the (slow) corpus + model bootstrap, behind
+	// a swappable handler: liveness is answerable the moment the process is
+	// up, readiness flips only when the model can actually serve.
+	var handler atomic.Value // http.HandlerFunc — one concrete type for every Store
+	handler.Store(bootstrapHandler().ServeHTTP)
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (not ready: loading)", *addr)
 
 	cfg, err := experiments.CorpusByName(*corpusName)
 	if err != nil {
@@ -98,33 +123,30 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.NewConfigured(ds, model, server.Config{
-			MaxK:           *maxK,
-			MaxInFlight:    *maxInFly,
-			RequestTimeout: *reqTimeout,
-			Metrics:        reg, // one registry for the serving port and the sidecar
-		}).Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	s := server.NewConfigured(ds, model, server.Config{
+		MaxK:           *maxK,
+		MaxInFlight:    *maxInFly,
+		RequestTimeout: *reqTimeout,
+		Metrics:        reg, // one registry for the serving port and the sidecar
+	})
+	handler.Store(s.Handler().ServeHTTP)
 
-	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// Graceful shutdown: on SIGINT/SIGTERM flip /readyz to 503 (the load
+	// balancer stops routing here), then stop accepting connections and
 	// drain in-flight requests for up to -drain-timeout before exiting, so
 	// a rolling restart never truncates candidate sets mid-response.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %s model for %s on %s", v.Name, cfg.Name, *addr)
+	log.Printf("serving %s model for %s on %s (ready)", v.Name, cfg.Name, *addr)
 
 	select {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second signal kills immediately
-		log.Printf("signal received, draining for up to %s ...", *drain)
+		s.SetReady(false)
+		log.Printf("signal received, readiness withdrawn, draining for up to %s ...", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -135,4 +157,23 @@ func main() {
 		}
 		log.Print("drained, bye")
 	}
+}
+
+// bootstrapHandler answers for the window between bind and model-ready:
+// alive but not ready, and nothing else is routable yet.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "loading"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "loading"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "server is loading its model, not ready", http.StatusServiceUnavailable)
+	})
+	return mux
 }

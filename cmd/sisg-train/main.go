@@ -18,6 +18,12 @@
 // (-warm-start is different: it seeds a fresh run from yesterday's model,
 // the paper's daily incremental update.)
 //
+// Self-healing (simulated-distributed only): -recovery makes the
+// supervisor resurrect workers the heartbeat monitor declares dead (up to
+// -max-restarts times each, from their durable scan cursor) and then hand
+// their partition to a surviving worker, so no training pair is ever
+// dropped or degraded by a death.
+//
 // Observability: -metrics prints periodic progress lines (pairs/sec,
 // tokens/sec, current LR, ETA) during training; -pprof-addr exposes
 // net/http/pprof plus a Prometheus /metrics page on a sidecar listener,
@@ -73,6 +79,8 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for crash-recovery snapshots (empty = no checkpointing)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 1_000_000, "snapshot roughly every N trained pairs")
 		resume     = flag.Bool("resume", false, "resume from the snapshot in -checkpoint-dir if one exists")
+		recovery   = flag.Bool("recovery", false, "self-heal the distributed run: resurrect dead workers from their scan cursor, then hand their partition to a survivor")
+		maxRestart = flag.Int("max-restarts", 0, "resurrections per worker before partition takeover (0 = default budget, negative = takeover immediately); needs -recovery")
 		showProg   = flag.Bool("metrics", false, "print periodic training progress lines (pairs/sec, tokens/sec, LR, ETA)")
 		progEvery  = flag.Duration("metrics-every", 2*time.Second, "progress reporting interval for -metrics")
 		pprofAddr  = flag.String("pprof-addr", "", "expose net/http/pprof and /metrics on this sidecar address (e.g. localhost:6060)")
@@ -169,6 +177,8 @@ func main() {
 		// TrainOptions replaced the embedded sgns.Options wholesale, and with
 		// it the Workers field DefaultOptions had set from the flag.
 		dopt.Workers = *workers
+		dopt.Recovery = *recovery
+		dopt.MaxRestarts = *maxRestart
 		dopt.Metrics = reg // live train_* gauges on the -pprof-addr /metrics page
 		dmodel, st, err := dist.Train(ds.Dict.Dict, seqs, part, dopt)
 		if err != nil {
@@ -176,6 +186,10 @@ func main() {
 		}
 		log.Printf("trained %d pairs (%.1f%% remote), simulated cluster time %v",
 			st.Pairs, 100*st.RemoteFraction(), st.SimElapsed.Round(time.Millisecond))
+		if *recovery && len(st.DeadWorkers) > 0 {
+			log.Printf("self-healing: %d dead, %d restarts, %d takeovers, %d pairs retrained by replacements",
+				len(st.DeadWorkers), st.Restarts, st.Takeovers, st.RecoveredPairs)
+		}
 		model = &sisg.Model{Variant: v, Dict: ds.Dict, Emb: dmodel}
 	default:
 		model, err = sisg.Train(ds.Dict, train, v, opt)

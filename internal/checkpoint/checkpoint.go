@@ -41,6 +41,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"sisg/internal/emb"
 )
@@ -157,7 +158,31 @@ func Save(dir string, s *Snapshot) error {
 	if err != nil {
 		return err
 	}
-	return os.Rename(tmpName, Path(dir))
+	if err := os.Rename(tmpName, Path(dir)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory itself: the rename above is only durable
+// once the directory entry hits disk, so without this a host crash shortly
+// after Save could resurface the previous snapshot (or none) even though
+// the temp file's bytes were synced. Filesystems that do not support
+// syncing a directory handle report EINVAL/ENOTSUP; that is the platform
+// saying the rename is already as durable as it gets, not a Save failure.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if err2 := d.Close(); err == nil {
+		err = err2
+	}
+	if err != nil && (errors.Is(err, errors.ErrUnsupported) || errors.Is(err, syscall.EINVAL)) {
+		return nil
+	}
+	return err
 }
 
 func writeSnapshot(w io.Writer, s *Snapshot) error {

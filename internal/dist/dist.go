@@ -76,14 +76,47 @@ type Options struct {
 	// default); DeadAfter is how long a scanning worker's heartbeat counter
 	// may sit still before the worker is declared dead (zero = 10s default;
 	// it should comfortably exceed RemoteTimeout, since a worker blocked on
-	// a remote call only beats once per attempt deadline). Death is sticky:
-	// survivors stop routing pairs to a dead worker and account the loss
-	// (Stats.DroppedPairs) rather than stalling on it.
+	// a remote call only beats once per attempt deadline). Without Recovery
+	// death is sticky: survivors stop routing pairs to a dead worker and
+	// account the loss (Stats.DroppedPairs) rather than stalling on it.
 	HeartbeatEvery time.Duration
 	DeadAfter      time.Duration
 
+	// Recovery enables the supervisor: a worker the monitor declares dead
+	// is resurrected (respawned on its own partition from its last durable
+	// scan cursor, re-seeded from a dedicated RNG stream) up to MaxRestarts
+	// times, and after the budget is exhausted its partition is taken over
+	// by a surviving worker (see Stats.Takeovers, Stats.Hosts). With
+	// Recovery on, no pair is ever dropped or degraded because of a death:
+	// remote TNS calls to a dead partition wait (with jittered exponential
+	// backoff, still serving their own queue) until the replacement serves
+	// them, so Pairs == LocalPairs + RemotePairs + Degraded holds with
+	// DroppedPairs == 0, and the final accounting is deterministic under a
+	// seed even across crashes.
+	Recovery bool
+	// MaxRestarts bounds resurrections per partition before takeover.
+	// Zero means the default (2); negative means no resurrections — the
+	// first death goes straight to takeover.
+	MaxRestarts int
+	// RestartBackoff is the base supervisor delay before a resurrection,
+	// doubled per prior restart of that partition and jittered ±50%.
+	// Zero means the 50ms default.
+	RestartBackoff time.Duration
+	// RetryBackoff is the base delay between remote-TNS re-attempts,
+	// doubled per attempt (capped) and jittered, so survivors do not
+	// hammer a struggling peer in lockstep. Zero means RemoteTimeout/8.
+	RetryBackoff time.Duration
+
 	// Cost holds the cluster cost model used to compute SimElapsed.
 	Cost CostModel
+
+	// HaltAfterBarriers, when positive, stops a checkpointing run cleanly
+	// after that many block barriers have been released, forcing a snapshot
+	// at the halt point and returning ErrHalted. It simulates a process
+	// kill mid-run with a resumable snapshot on disk — the chaos harness's
+	// mid-chaos checkpoint/resume equivalence check is built on it.
+	// Ignored unless checkpointing is configured.
+	HaltAfterBarriers int
 
 	// Metrics, when non-nil, mirrors the engine's live counters — pairs,
 	// retries, degraded pairs, dropped pairs, dead workers, current LR —
@@ -116,6 +149,39 @@ type FaultPlan struct {
 	// DropFraction is the probability that a remote TNS request is lost in
 	// transit (the requester waits out its deadline, then retries).
 	DropFraction float64
+
+	// Crashes and Stalls schedule multiple faults for one run — the chaos
+	// harness composes them freely. The scalar fields above are one-fault
+	// sugar and are merged into these schedules at startup.
+	Crashes []CrashSpec
+	Stalls  []StallSpec
+}
+
+// CrashSpec kills one worker, possibly repeatedly: with Recovery on, a
+// resurrected incarnation re-arms the trigger AtPairs pairs after its spawn
+// point until the crash has fired Times times — the way to drive a
+// partition through its whole restart budget into takeover. A taken-over
+// partition never re-arms (the adopting machine is not the faulty one).
+type CrashSpec struct {
+	Worker int
+	// AtPairs is the pair count the trigger fires at: absolute for the
+	// first incarnation, relative to the spawn point for resurrected ones.
+	// Ignored when AtStart is set.
+	AtPairs uint64
+	// Times caps how often the trigger fires; 0 means once.
+	Times int
+	// AtStart crashes the worker before it trains a single pair — the
+	// never-started worker, detected purely by its missing heartbeat.
+	AtStart bool
+}
+
+// StallSpec sleeps one worker for For (serving nothing) once its pair
+// counter reaches AtPairs — a GC pause / noisy neighbor. Each spec fires
+// once per run.
+type StallSpec struct {
+	Worker  int
+	AtPairs uint64
+	For     time.Duration
 }
 
 // Validate reports the first invalid fault parameter.
@@ -123,7 +189,65 @@ func (f FaultPlan) Validate() error {
 	if f.DropFraction < 0 || f.DropFraction >= 1 {
 		return fmt.Errorf("dist: DropFraction %v out of [0,1)", f.DropFraction)
 	}
+	for i, c := range f.Crashes {
+		if c.Worker < 0 {
+			return fmt.Errorf("dist: Crashes[%d].Worker %d negative", i, c.Worker)
+		}
+		if !c.AtStart && c.AtPairs == 0 {
+			return fmt.Errorf("dist: Crashes[%d] needs AtPairs > 0 or AtStart", i)
+		}
+		if c.Times < 0 {
+			return fmt.Errorf("dist: Crashes[%d].Times %d negative", i, c.Times)
+		}
+	}
+	for i, s := range f.Stalls {
+		if s.Worker < 0 {
+			return fmt.Errorf("dist: Stalls[%d].Worker %d negative", i, s.Worker)
+		}
+		if s.For <= 0 {
+			return fmt.Errorf("dist: Stalls[%d].For must be positive", i)
+		}
+	}
 	return nil
+}
+
+// crashFor returns the merged crash schedule for one worker: the scalar
+// sugar first, then the first matching list entry.
+func (f FaultPlan) crashFor(id int) *CrashSpec {
+	if f.CrashWorker == id && f.CrashAtPairs > 0 {
+		return &CrashSpec{Worker: id, AtPairs: f.CrashAtPairs, Times: 1}
+	}
+	for i := range f.Crashes {
+		if f.Crashes[i].Worker == id {
+			c := f.Crashes[i]
+			if c.Times <= 0 {
+				c.Times = 1
+			}
+			return &c
+		}
+	}
+	return nil
+}
+
+// stallsFor returns the merged stall schedule for one worker.
+func (f FaultPlan) stallsFor(id int) []StallSpec {
+	var out []StallSpec
+	if f.StallWorker == id && f.StallFor > 0 {
+		at := f.StallAtPairs
+		if at == 0 {
+			at = 1
+		}
+		out = append(out, StallSpec{Worker: id, AtPairs: at, For: f.StallFor})
+	}
+	for _, s := range f.Stalls {
+		if s.Worker == id {
+			if s.AtPairs == 0 {
+				s.AtPairs = 1
+			}
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // CostModel converts the engine's measured counters (pairs, remote calls,
@@ -214,6 +338,33 @@ func (o *Options) heartbeatEvery() time.Duration {
 	return 25 * time.Millisecond
 }
 
+// maxRestarts returns the effective per-partition resurrection budget.
+func (o *Options) maxRestarts() int {
+	switch {
+	case o.MaxRestarts > 0:
+		return o.MaxRestarts
+	case o.MaxRestarts < 0:
+		return 0
+	}
+	return 2
+}
+
+// restartBackoff returns the effective supervisor backoff base.
+func (o *Options) restartBackoff() time.Duration {
+	if o.RestartBackoff > 0 {
+		return o.RestartBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+// retryBackoff returns the effective remote-retry backoff base.
+func (o *Options) retryBackoff() time.Duration {
+	if o.RetryBackoff > 0 {
+		return o.RetryBackoff
+	}
+	return o.remoteTimeout() / 8
+}
+
 // Stats aggregates what the cluster did.
 type Stats struct {
 	Workers     int
@@ -231,11 +382,21 @@ type Stats struct {
 
 	// Fault-tolerance accounting: degradation is observable, never silent.
 	// The invariant Pairs == LocalPairs + RemotePairs + Degraded always
-	// holds; DroppedPairs counts pairs nobody trained at all.
+	// holds; DroppedPairs counts pairs nobody trained at all. With
+	// Options.Recovery, DroppedPairs == 0 always (every dead partition is
+	// re-hosted, so its pairs are trained, not dropped).
 	Retries      uint64 // remote TNS re-sends after a deadline expired
 	Degraded     uint64 // pairs trained against local noise only, after retries were exhausted or the owner died
 	DroppedPairs uint64 // pairs observed by survivors as owned by a dead worker and therefore untrained
-	DeadWorkers  []int  // workers that crashed or were declared dead by the heartbeat monitor
+	DeadWorkers  []int  // workers that ever crashed or were declared dead by the heartbeat monitor
+
+	// Recovery accounting (all zero unless Options.Recovery).
+	Restarts       uint64 // resurrections: dead partitions respawned on their own machine
+	Takeovers      uint64 // partitions adopted by a survivor after the restart budget ran out
+	RecoveredPairs uint64 // pairs trained by replacement incarnations (resurrected or adopted)
+	// Hosts maps partition -> machine hosting it at run end; nil when no
+	// takeover happened (every partition still hosted by its own machine).
+	Hosts []int32
 }
 
 // SimTokensPerSec is cluster throughput under the cost model — the y-axis

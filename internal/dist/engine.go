@@ -76,16 +76,33 @@ type engine struct {
 	scanDone   chan struct{} // one message per worker when its scan role ends
 	scanTokens atomic.Uint64
 
-	// Health tracking: heartbeat counters sampled by the monitor, sticky
-	// dead flags, and a closed channel per dead worker so blocked
-	// requesters wake immediately on detection.
+	// Health tracking: heartbeat counters sampled by the monitor, dead
+	// flags (sticky without Recovery; cleared when a replacement spawns),
+	// and a closed channel per dead worker so blocked requesters wake
+	// immediately on detection. everDead is the cumulative ledger backing
+	// Stats.DeadWorkers — a resurrected worker stays on it.
 	heartbeat []atomic.Uint64
 	state     []atomic.Int32
 	dead      []atomic.Bool
+	everDead  []atomic.Bool
 	anyDead   atomic.Bool // fast-path guard for the per-pair dead check
 	deadCh    []chan struct{}
+	deadOnce  []sync.Once // deadCh closes once per partition, ever
 	stopMon   chan struct{}
 	monWG     sync.WaitGroup
+
+	// Recovery (set when opt.Recovery): the supervisor respawns dead
+	// partitions. spawnMu serializes replacement spawns against shutdown;
+	// draining (guarded by spawnMu) means the run is past its last
+	// scanDone and no replacement may start. host maps partition ->
+	// hosting machine (diverges from identity on takeover); livePart is
+	// the engine's own partition copy, reassigned on takeover.
+	wwg      sync.WaitGroup // all worker goroutines, incl. replacements
+	supWG    sync.WaitGroup // in-flight recover() calls
+	spawnMu  sync.Mutex
+	draining bool
+	host     []int32
+	livePart *graph.Partition
 
 	// Checkpointing (set when opt.CheckpointDir and CheckpointEvery are
 	// both set): scanning proceeds in sequence blocks with a barrier after
@@ -167,11 +184,20 @@ func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Opti
 	e.heartbeat = make([]atomic.Uint64, w)
 	e.state = make([]atomic.Int32, w)
 	e.dead = make([]atomic.Bool, w)
+	e.everDead = make([]atomic.Bool, w)
 	e.deadCh = make([]chan struct{}, w)
+	e.deadOnce = make([]sync.Once, w)
 	for i := range e.deadCh {
 		e.deadCh[i] = make(chan struct{})
 	}
 	e.stopMon = make(chan struct{})
+	if opt.Recovery {
+		e.host = make([]int32, w)
+		for i := range e.host {
+			e.host[i] = int32(i)
+		}
+		e.livePart = part.Clone()
+	}
 
 	// Checkpoint geometry. Without checkpointing each epoch is a single
 	// block with no barriers — the classic free-running schedule.
@@ -251,6 +277,16 @@ func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Opti
 		for i, wk := range e.workers {
 			wk.r.SetState(snap.RNGs[i])
 			wk.restoreCounters(snap.Counters[1+i*workerCounterLen : 1+(i+1)*workerCounterLen])
+			// A takeover that happened before the snapshot persists across
+			// the resume: rebuild the host map and the partition ledger (no
+			// one is dead in the fresh process, so the adopter is ring-next).
+			if e.host != nil && wk.takenOver.Load() > 0 {
+				a := e.adopterFor(int32(i))
+				e.host[i] = a
+				if a != int32(i) {
+					_ = e.livePart.Reassign(i, int(a))
+				}
+			}
 			// Replicas re-seed from the restored global hot store.
 			for h := range e.hotIDs {
 				copy(wk.hotIn[h], e.hotIn[h])
@@ -270,8 +306,12 @@ func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Opti
 const checkpointBlockSeqs = 512
 
 // workerCounterLen is the per-worker slot count in a snapshot's Counters
-// (see worker.saveCounters).
-const workerCounterLen = 9
+// (see worker.saveCounters). PR 3 grew it from 9: recovery state
+// (recovered pairs, restarts, takeover flag, the ever-dead ledger bit) and
+// crash-trigger state (fired count, armed position) must survive a
+// mid-chaos resume, or the resumed run would re-fire crashes that already
+// happened and diverge from the uninterrupted run.
+const workerCounterLen = 15
 
 // selectHot returns the shared set Q: tokens above the frequency threshold,
 // or the top-K most frequent when threshold is zero.
@@ -360,33 +400,37 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 	e.monWG.Add(1)
 	go e.monitor()
 
-	var wg sync.WaitGroup
+	e.spawnMu.Lock()
 	for _, wk := range e.workers {
-		wg.Add(1)
-		go func(wk *worker) {
-			defer wg.Done()
-			wk.run()
-		}(wk)
+		e.spawnWorker(wk)
 	}
+	e.spawnMu.Unlock()
 
 	if e.ckptOn {
 		e.orchestrateBarriers()
 	}
 
-	// Shutdown: when a worker's scan role ends (all epochs done, or
-	// crashed) it signals once. Remote calls only happen while scanning,
-	// so after the W-th signal nothing new can be sent and closing the
-	// request channels is safe; surviving workers drain what is queued
-	// and exit on channel close — no polling, no sleeps.
+	// Shutdown: when a partition's scan role ends it signals once —
+	// without Recovery that is the worker finishing or crashing; with
+	// Recovery only the incarnation that completes all epochs signals (a
+	// crashed one exits silently and its replacement carries the role).
+	// Remote calls only happen while scanning, so after the W-th signal
+	// nothing new can be sent and closing the request channels is safe;
+	// surviving workers drain what is queued and exit on channel close —
+	// no polling, no sleeps.
 	for n := 0; n < e.opt.Workers; n++ {
 		<-e.scanDone
 	}
+	e.spawnMu.Lock()
+	e.draining = true // any recover() still in flight becomes a no-op
+	e.spawnMu.Unlock()
 	for i := range e.reqCh {
 		close(e.reqCh[i])
 	}
-	wg.Wait()
+	e.wwg.Wait()
 	close(e.stopMon)
 	e.monWG.Wait()
+	e.supWG.Wait()
 	stopObservers() // final Done progress snapshot; registry gauges stay readable
 
 	// A crashed worker may have been overlooked by the monitor if the run
@@ -420,13 +464,125 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 		st.Retries += wk.retries.Load()
 		st.Degraded += wk.degraded.Load()
 		st.DroppedPairs += wk.droppedPairs.Load()
+		st.Restarts += wk.restarts.Load()
+		st.Takeovers += wk.takenOver.Load()
+		st.RecoveredPairs += wk.recoveredPairs.Load()
 		st.PairsPerWorker[i] = wk.pairs.Load()
-		if e.dead[i].Load() {
+		if e.everDead[i].Load() {
 			st.DeadWorkers = append(st.DeadWorkers, i)
 		}
 	}
+	if st.Takeovers > 0 {
+		st.Hosts = append([]int32(nil), e.host...)
+	}
 	st.SimElapsed = e.simElapsed()
 	return e.model, st, e.ckptErr
+}
+
+// spawnWorker launches one incarnation of a worker (initial or
+// replacement); the caller must hold spawnMu (it guards wk.gone and
+// draining). The per-incarnation gone channel lets the supervisor wait
+// for the previous incarnation to fully exit before handing its partition
+// to the next one — the fencing that makes a false-positive death (a
+// stalled worker the monitor gave up on) safe: two incarnations of one
+// partition never run concurrently.
+func (e *engine) spawnWorker(wk *worker) {
+	gone := make(chan struct{})
+	wk.gone = gone
+	e.wwg.Add(1)
+	go func() {
+		defer e.wwg.Done()
+		defer close(gone)
+		wk.run()
+	}()
+}
+
+// recover is the supervisor's response to one death: fence and wait out
+// the old incarnation, then either resurrect the partition on its own
+// machine (budget left) or hand it to a surviving adopter (takeover). One
+// recover goroutine runs per death event; deaths of different partitions
+// recover concurrently, deaths of the same partition are naturally
+// serialized (a partition must be live again before it can die again).
+func (e *engine) recover(id int32) {
+	defer e.supWG.Done()
+	wk := e.workers[id]
+	wk.fenced.Store(true)
+	// wk.gone is written by spawnWorker under spawnMu; a death detected by
+	// a NON-changing heartbeat carries no happens-before edge from that
+	// write, so the read must take the lock too. No newer incarnation can
+	// appear while we wait: deaths of one partition are serialized through
+	// this very function.
+	e.spawnMu.Lock()
+	gone := wk.gone
+	e.spawnMu.Unlock()
+	<-gone
+
+	// A false positive on a worker that went on to finish its scan: the
+	// partition is complete, nothing to recover.
+	if ep, _ := unpackCursor(wk.cursor.Load()); ep >= e.opt.Epochs {
+		return
+	}
+	restarts := wk.restarts.Load()
+	resurrect := int(restarts) < e.opt.maxRestarts()
+	if resurrect {
+		e.sleepBackoff(id, restarts)
+	}
+
+	e.spawnMu.Lock()
+	defer e.spawnMu.Unlock()
+	if e.draining {
+		return
+	}
+	if resurrect {
+		wk.restarts.Add(1)
+		wk.reinit(false)
+	} else {
+		adopter := e.adopterFor(id)
+		wk.takenOver.Store(1)
+		e.host[id] = adopter
+		if e.livePart != nil && adopter != id {
+			// Bookkeeping on the engine's own partition copy; routing
+			// stays static (owner[] is immutable), the adopter hosts the
+			// partition's rows and request queue.
+			_ = e.livePart.Reassign(int(id), int(adopter))
+		}
+		wk.reinit(true)
+	}
+	e.dead[id].Store(false)
+	e.state[id].Store(stateScanning)
+	e.heartbeat[id].Add(1) // fresh beat: the monitor's stillness clock restarts
+	e.spawnWorker(wk)
+}
+
+// sleepBackoff delays a resurrection: base × 2^restarts, jittered ±50%
+// from a deterministic per-(partition, restart) stream so fault decisions
+// never touch the training RNGs.
+func (e *engine) sleepBackoff(id int32, restarts uint64) {
+	d := e.opt.restartBackoff()
+	shift := restarts
+	if shift > 6 {
+		shift = 6
+	}
+	d <<= shift
+	r := rng.New(e.opt.Seed ^ (0xa0761d6478bd642f * (uint64(id) + 1)) ^ (0xe7037ed1a0b428db * (restarts + 1)))
+	d = time.Duration(float64(d) * (0.5 + r.Float64()))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// adopterFor picks the takeover host for a dead partition: the first
+// machine after it in ring order that is not itself currently dead — the
+// same deterministic rule countsDropsFor uses for drop accounting.
+func (e *engine) adopterFor(id int32) int32 {
+	n := int32(e.opt.Workers)
+	for i := int32(1); i < n; i++ {
+		c := (id + i) % n
+		if !e.dead[c].Load() {
+			return c
+		}
+	}
+	return id // everyone dead at once: keep it home (still re-hosted)
 }
 
 // orchestrateBarriers drives the arrive → quiesce → ack → release protocol
@@ -449,12 +605,22 @@ func (e *engine) orchestrateBarriers() {
 		// store, RNG states and counters are a consistent cut.
 		pairs := e.totalPairs()
 		final := k == len(e.barriers)-1
-		if e.ckptErr == nil && (final || pairs-e.lastCkptPairs >= e.opt.CheckpointEvery) {
+		halting := e.opt.HaltAfterBarriers > 0 && k+1-k0 >= e.opt.HaltAfterBarriers
+		if e.ckptErr == nil && (final || halting || pairs-e.lastCkptPairs >= e.opt.CheckpointEvery) {
 			if err := e.saveCheckpoint(k + 1); err != nil {
 				e.ckptErr = fmt.Errorf("dist: checkpoint: %w", err)
 			} else {
 				e.lastCkptPairs = pairs
 			}
+		}
+		if halting && !final && e.ckptErr == nil {
+			// Simulated process kill at this quiesce point: the snapshot
+			// just cut is the resume point. Workers observe aborted after
+			// release and stop scanning.
+			e.aborted = true
+			e.ckptErr = ErrHalted
+			close(bar.release)
+			return
 		}
 		if checkpointAbortHook != nil && checkpointAbortHook(k) {
 			// Test-only simulated process kill: stop the run at this
@@ -468,6 +634,17 @@ func (e *engine) orchestrateBarriers() {
 		close(bar.release)
 	}
 }
+
+// ErrHalted reports a run stopped by Options.HaltAfterBarriers: a clean,
+// resumable interruption with a snapshot on disk, not a failure.
+var ErrHalted = errors.New("dist: run halted after requested barrier count (resumable)")
+
+// packCursor encodes a worker's durable scan position — the sequence it is
+// about to (re)scan — into one atomic word; epoch >= Epochs means the
+// partition completed its scan.
+func packCursor(epoch, seq int) uint64 { return uint64(epoch)<<32 | uint64(uint32(seq)) }
+
+func unpackCursor(c uint64) (epoch, seq int) { return int(c >> 32), int(uint32(c)) }
 
 // checkpointAbortHook, when set by a test, is invoked at each barrier's
 // quiesce point (after any snapshot); returning true kills the run there,
@@ -549,12 +726,23 @@ func (e *engine) monitor() {
 	}
 }
 
-// markDead flags a worker as failed (idempotent) and wakes anyone blocked
-// on it.
+// markDead flags a worker as failed and wakes anyone blocked on it. With
+// Recovery it additionally dispatches a supervisor goroutine to re-host
+// the partition; the dead flag is cleared again when the replacement
+// spawns, so the CAS can succeed once per incarnation.
 func (e *engine) markDead(id int32) {
 	if e.dead[id].CompareAndSwap(false, true) {
+		e.everDead[id].Store(true)
 		e.anyDead.Store(true)
-		close(e.deadCh[id])
+		e.deadOnce[id].Do(func() { close(e.deadCh[id]) })
+		if e.opt.Recovery {
+			e.spawnMu.Lock()
+			if !e.draining {
+				e.supWG.Add(1)
+				go e.recover(id)
+			}
+			e.spawnMu.Unlock()
+		}
 	}
 }
 

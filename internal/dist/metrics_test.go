@@ -76,6 +76,50 @@ func TestRegistryMirrorsStats(t *testing.T) {
 	}
 }
 
+// The recovery counters mirror into the registry the same way: after a
+// crash-and-resurrect run the train_restarts / train_takeovers /
+// train_recovered_pairs gauges must match Stats, and train_dead_workers
+// reads the cumulative ledger (a resurrected worker stays on it).
+func TestRegistryMirrorsRecoveryStats(t *testing.T) {
+	ds, seqs, part := tinySetup(t, 4)
+	opt := recoveryOptions(4)
+	opt.Faults.CrashWorker = 1
+	opt.Faults.CrashAtPairs = 3000
+	reg := metrics.NewRegistry()
+	opt.Metrics = reg
+
+	_, st, err := Train(ds.Dict.Dict, seqs, part, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) float64 {
+		t.Helper()
+		v, ok := reg.Value(name)
+		if !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+		return v
+	}
+	for _, g := range []struct {
+		name string
+		want uint64
+	}{
+		{"train_restarts", st.Restarts},
+		{"train_takeovers", st.Takeovers},
+		{"train_recovered_pairs", st.RecoveredPairs},
+		{"train_dead_workers", uint64(len(st.DeadWorkers))},
+		{"train_dropped_pairs", 0},
+		{"train_degraded", 0},
+	} {
+		if got := read(g.name); got != float64(g.want) {
+			t.Errorf("%s = %v, want %d (Stats)", g.name, got, g.want)
+		}
+	}
+	if st.Restarts != 1 || st.RecoveredPairs == 0 || len(st.DeadWorkers) != 1 {
+		t.Errorf("recovery did not move the counters under test: %+v", st)
+	}
+}
+
 // A nil registry keeps the run observer-free: no gauges, no progress
 // goroutine, identical results.
 func TestNilRegistryIsInert(t *testing.T) {

@@ -22,15 +22,27 @@ func (e *engine) liveStats() (pairs, retries, degraded, dropped uint64) {
 	return
 }
 
-// liveDeadWorkers counts workers currently flagged dead.
+// liveDeadWorkers counts workers that have EVER crashed or been declared
+// dead — the cumulative ledger behind Stats.DeadWorkers, so the gauge and
+// the final stats agree even after recovery revives a partition.
 func (e *engine) liveDeadWorkers() int {
 	n := 0
-	for i := range e.dead {
-		if e.dead[i].Load() {
+	for i := range e.everDead {
+		if e.everDead[i].Load() {
 			n++
 		}
 	}
 	return n
+}
+
+// liveRecovery reads the cluster-wide recovery counters mid-run.
+func (e *engine) liveRecovery() (restarts, takeovers, recovered uint64) {
+	for _, wk := range e.workers {
+		restarts += wk.restarts.Load()
+		takeovers += wk.takenOver.Load()
+		recovered += wk.recoveredPairs.Load()
+	}
+	return
 }
 
 // liveLR recomputes the current decayed learning rate from the shared scan
@@ -57,7 +69,10 @@ func (e *engine) registerMetrics(reg *metrics.Registry) {
 		{"train_retries", "remote TNS re-sends after a deadline expired", func() float64 { _, r, _, _ := e.liveStats(); return float64(r) }},
 		{"train_degraded", "pairs trained against local noise only after retries were exhausted", func() float64 { _, _, d, _ := e.liveStats(); return float64(d) }},
 		{"train_dropped_pairs", "pairs lost to dead workers, untrained cluster-wide", func() float64 { _, _, _, d := e.liveStats(); return float64(d) }},
-		{"train_dead_workers", "workers crashed or declared dead by the heartbeat monitor", func() float64 { return float64(e.liveDeadWorkers()) }},
+		{"train_dead_workers", "workers that ever crashed or were declared dead by the heartbeat monitor", func() float64 { return float64(e.liveDeadWorkers()) }},
+		{"train_restarts", "partition resurrections performed by the supervisor", func() float64 { r, _, _ := e.liveRecovery(); return float64(r) }},
+		{"train_takeovers", "partitions adopted by a survivor after the restart budget ran out", func() float64 { _, t, _ := e.liveRecovery(); return float64(t) }},
+		{"train_recovered_pairs", "pairs trained by replacement incarnations after a death", func() float64 { _, _, r := e.liveRecovery(); return float64(r) }},
 		{"train_tokens", "corpus tokens scanned so far, summed over workers", func() float64 { return float64(e.scanTokens.Load()) }},
 		{"train_lr", "current decayed learning rate", func() float64 { return float64(e.liveLR()) }},
 		{"train_workers", "configured worker count", func() float64 { return float64(e.opt.Workers) }},

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -43,28 +44,53 @@ type worker struct {
 	srng *rng.RNG
 
 	// Fault machinery. frng is a dedicated RNG for fault decisions
-	// (request drops, degraded-pair negatives) so injecting faults never
-	// perturbs the training stream in r. crashAt/stallAt trigger on the
-	// worker's own pair counter — deterministic regardless of goroutine
-	// scheduling.
-	frng     *rng.RNG
-	crashAt  uint64
-	crashed  bool
-	stallAt  uint64
-	stallFor time.Duration
-	stalled  bool
+	// (request drops, retry jitter, degraded-pair negatives) so injecting
+	// faults never perturbs the training stream in r. Crash and stall
+	// triggers fire on the worker's own pair counter — deterministic
+	// regardless of goroutine scheduling. crashSpec is this partition's
+	// merged crash schedule; crashArmAt is the armed absolute pair count
+	// (0 = disarmed) and is persisted so a resumed run does not re-fire a
+	// crash at the wrong position.
+	frng      *rng.RNG
+	crashed   bool
+	crashSpec *CrashSpec
+	stalls    []StallSpec // sorted by AtPairs; stallIdx is the next unfired
+	stallIdx  int
 
-	// Counters (merged by the engine after the run; the first nine are
-	// persisted in checkpoints — see saveCounters). Atomic because the
-	// progress reporter and registry gauges sample them mid-run; each
-	// counter is only ever WRITTEN by its own worker goroutine, so the
-	// atomics cost one uncontended add per event.
+	// Recovery state. cursor is the durable scan position (epoch, seq),
+	// written at every sequence start, that a replacement incarnation
+	// resumes from. fenced is set by the supervisor before it replaces
+	// this incarnation: the fenced goroutine must stop touching the model
+	// and exit (checked at sequence, pair and remote-attempt boundaries),
+	// which keeps a false-positive death from ever producing two live
+	// incarnations of one partition. gone is closed when the incarnation's
+	// goroutine fully exits; the supervisor waits on it before respawning.
+	fenced      atomic.Bool
+	gone        chan struct{}
+	cursor      atomic.Uint64
+	resumeEpoch int
+	resumeSeq   int
+	incarnation int  // reinit count; seeds the replacement RNG streams
+	replacement bool // true for every incarnation after the first
+	adopted     bool // partition taken over by a survivor: no fault re-arm
+
+	// Counters (merged by the engine after the run and persisted in
+	// checkpoints — see saveCounters). Atomic because the progress
+	// reporter and registry gauges sample them mid-run; each counter is
+	// only ever WRITTEN by its own worker goroutine (or the supervisor
+	// between incarnations), so the atomics cost one uncontended add per
+	// event.
 	pairs, localPairs, remotePairs atomic.Uint64
 	servedPairs                    atomic.Uint64
 	bytesSent                      atomic.Uint64
 	hotSyncs                       atomic.Uint64
 	retries, degraded              atomic.Uint64
 	droppedPairs                   atomic.Uint64
+	recoveredPairs                 atomic.Uint64 // pairs trained by replacement incarnations
+	restarts                       atomic.Uint64 // resurrections of this partition
+	takenOver                      atomic.Uint64 // 1 once a survivor adopted the partition
+	crashesFired                   atomic.Uint64
+	crashArmAt                     atomic.Uint64
 	sincSync                       int // scan-local, never sampled
 }
 
@@ -77,16 +103,22 @@ func newWorker(e *engine, id int, r *rng.RNG) (*worker, error) {
 		srng: rng.New(e.opt.Seed ^ (0xbf58476d1ce4e5b9 * uint64(id+1))),
 		frng: rng.New(e.opt.Seed ^ (0x9e3779b97f4a7c15 * uint64(id+1))),
 	}
-	if f := e.opt.Faults; f.CrashWorker == id && f.CrashAtPairs > 0 {
-		w.crashAt = f.CrashAtPairs
-	}
-	if f := e.opt.Faults; f.StallWorker == id && f.StallFor > 0 {
-		w.stallAt = f.StallAtPairs
-		if w.stallAt == 0 {
-			w.stallAt = 1
+	if c := e.opt.Faults.crashFor(id); c != nil {
+		w.crashSpec = c
+		if c.AtStart {
+			// Never-started worker: dead at birth, detected purely by the
+			// heartbeat it never produces.
+			w.crashed = true
+			w.crashesFired.Store(1)
+		} else {
+			w.crashArmAt.Store(c.AtPairs)
 		}
-		w.stallFor = f.StallFor
 	}
+	w.stalls = e.opt.Faults.stallsFor(id)
+	sort.Slice(w.stalls, func(i, j int) bool { return w.stalls[i].AtPairs < w.stalls[j].AtPairs })
+	w.resumeEpoch = e.startEpoch
+	w.resumeSeq = e.startBlock * e.blockSize
+	w.cursor.Store(packCursor(w.resumeEpoch, w.resumeSeq))
 	noise, tokens, err := e.noiseFor(id)
 	if err != nil {
 		return nil, err
@@ -107,47 +139,143 @@ func newWorker(e *engine, id int, r *rng.RNG) (*worker, error) {
 }
 
 // saveCounters returns the worker's persistent counters in checkpoint
-// order; restoreCounters is its inverse. workerCounterLen must match.
+// order; restoreCounters is its inverse. workerCounterLen must match. The
+// recovery slots (recovered pairs, restarts, takeover, crash-trigger
+// state, the ever-dead flag) make a mid-chaos resume equivalent to the
+// uninterrupted run: without them the resumed run would re-fire crashes
+// that already happened, or forget a takeover.
 func (w *worker) saveCounters() []uint64 {
+	everDead := uint64(0)
+	if w.e.everDead[w.id].Load() {
+		everDead = 1
+	}
 	return []uint64{w.pairs.Load(), w.localPairs.Load(), w.remotePairs.Load(), w.servedPairs.Load(),
-		w.bytesSent.Load(), w.hotSyncs.Load(), w.retries.Load(), w.degraded.Load(), w.droppedPairs.Load()}
+		w.bytesSent.Load(), w.hotSyncs.Load(), w.retries.Load(), w.degraded.Load(), w.droppedPairs.Load(),
+		w.recoveredPairs.Load(), w.restarts.Load(), w.takenOver.Load(), w.crashesFired.Load(),
+		w.crashArmAt.Load(), everDead}
 }
 
 func (w *worker) restoreCounters(c []uint64) {
 	for i, dst := range []*atomic.Uint64{&w.pairs, &w.localPairs, &w.remotePairs, &w.servedPairs,
-		&w.bytesSent, &w.hotSyncs, &w.retries, &w.degraded, &w.droppedPairs} {
+		&w.bytesSent, &w.hotSyncs, &w.retries, &w.degraded, &w.droppedPairs,
+		&w.recoveredPairs, &w.restarts, &w.takenOver, &w.crashesFired, &w.crashArmAt} {
 		dst.Store(c[i])
 	}
+	if c[14] != 0 {
+		w.e.everDead[w.id].Store(true)
+		w.e.anyDead.Store(true)
+	}
+	// The resuming process is a fresh one: whatever incarnation wrote the
+	// snapshot, its state (not its death) is what resumes. A crash whose
+	// trigger already fired stays fired (crashArmAt was cleared at fire
+	// time and restored as such), so the run does not re-crash.
+	w.crashed = false
+	if w.restarts.Load() > 0 || w.takenOver.Load() > 0 {
+		w.replacement = true
+		w.adopted = w.takenOver.Load() > 0
+		w.incarnation = int(w.restarts.Load() + w.takenOver.Load())
+		if w.adopted {
+			w.stallIdx = len(w.stalls)
+		}
+	}
+}
+
+// reinit prepares the worker struct for its next incarnation; called by
+// the supervisor after the previous goroutine fully exited (gone closed),
+// so no field here is ever written concurrently with the old incarnation.
+// The RNG streams are re-seeded from a dedicated (seed, partition,
+// incarnation) function — never from the dead streams, whose exact stop
+// position is timing-dependent — so replays under one seed stay
+// deterministic. Counters carry over; hot replicas re-seed from the global
+// store (the dead incarnation's un-synced deltas are lost: crash
+// semantics); the scan resumes at the sequence the cursor froze on.
+func (w *worker) reinit(adopted bool) {
+	e := w.e
+	w.incarnation++
+	n := uint64(w.incarnation)
+	id := uint64(w.id) + 1
+	w.r = rng.New(e.opt.Seed ^ (0x94d049bb133111eb * id) ^ (0xbf58476d1ce4e5b9 * n))
+	w.srng = rng.New(e.opt.Seed ^ (0xff51afd7ed558ccd * id) ^ (0xc4ceb9fe1a85ec53 * n))
+	w.frng = rng.New(e.opt.Seed ^ (0xd6e8feb86659fd93 * id) ^ (0xa0761d6478bd642f * n))
+	w.crashed = false
+	w.fenced.Store(false)
+	w.replacement = true
+	w.crashArmAt.Store(0)
+	if adopted {
+		w.adopted = true
+	}
+	if w.adopted {
+		// The adopting machine is not the faulty one: no fault re-arm.
+		w.stallIdx = len(w.stalls)
+	} else if c := w.crashSpec; c != nil && int(w.crashesFired.Load()) < c.Times {
+		// A resurrected machine carries its fault with it until the spec's
+		// fire budget is spent — the way a scenario drives a partition
+		// through its whole restart budget into takeover.
+		if c.AtStart {
+			w.crashed = true
+			w.crashesFired.Add(1)
+		} else {
+			w.crashArmAt.Store(w.pairs.Load() + c.AtPairs)
+		}
+	}
+	w.resumeEpoch, w.resumeSeq = unpackCursor(w.cursor.Load())
+	e.hotMu.Lock()
+	for i := range e.hotIDs {
+		copy(w.hotIn[i], e.hotIn[i])
+		copy(w.hotOut[i], e.hotOut[i])
+		copy(w.hotInBase[i], e.hotIn[i])
+		copy(w.hotOutBase[i], e.hotOut[i])
+	}
+	e.hotMu.Unlock()
+	w.sincSync = 0
 }
 
 // run scans the corpus for opt.Epochs (in blocks, with a barrier after
 // each, when checkpointing is on), then serves peers until the engine
 // closes this worker's request channel. The engine closes the channels
-// only after every worker has signalled scanDone, and remote calls happen
-// only while scanning, so no send can race the close.
+// only after every partition has signalled scanDone, and remote calls
+// happen only while scanning, so no send can race the close.
 //
-// A crashed worker keeps attending checkpoint barriers (the barrier
-// arithmetic needs exactly W arrivals) but neither scans nor serves, and
-// exits as soon as its scan role ends — its queue then simply stops being
-// drained, and peers time out, degrade, and eventually drop its pairs.
+// Crash semantics differ by mode. Without Recovery a crashed worker keeps
+// attending checkpoint barriers (the barrier arithmetic needs exactly W
+// arrivals) but neither scans nor serves, and signals scanDone as it exits
+// — its pairs are dropped. With Recovery a crashed (or fenced) incarnation
+// exits immediately and silently: it does NOT signal scanDone and does NOT
+// attend barriers — its replacement resumes from the cursor, arrives at
+// the barriers the dead incarnation never reached, and signals scanDone
+// when the partition's scan truly completes.
 func (w *worker) run() {
 	e := w.e
+	recovery := w.opt.Recovery
 scan:
-	for ep := e.startEpoch; ep < w.opt.Epochs; ep++ {
-		b0 := 0
-		if ep == e.startEpoch {
-			b0 = e.startBlock
+	for ep := w.resumeEpoch; ep < w.opt.Epochs; ep++ {
+		s0 := 0
+		if ep == w.resumeEpoch {
+			s0 = w.resumeSeq
 		}
-		for b := b0; b < e.numBlocks; b++ {
+		for b := s0 / e.blockSize; b < e.numBlocks; b++ {
 			if !w.crashed {
 				lo := b * e.blockSize
-				hi := lo + e.blockSize
+				if lo < s0 {
+					lo = s0
+				}
+				hi := b*e.blockSize + e.blockSize
 				if hi > len(e.seqs) {
 					hi = len(e.seqs)
 				}
-				for i := lo; i < hi && !w.crashed; i++ {
+				for i := lo; i < hi; i++ {
+					if recovery && (w.crashed || w.fenced.Load()) {
+						return
+					}
+					w.cursor.Store(packCursor(ep, i))
 					w.scanSequence(e.seqs[i])
+					if !recovery && w.crashed {
+						break
+					}
 				}
+			}
+			if recovery && (w.crashed || w.fenced.Load()) {
+				return
 			}
 			if e.ckptOn {
 				w.blockBarrier(ep*e.numBlocks + b)
@@ -160,11 +288,15 @@ scan:
 		}
 	}
 	if w.crashed {
-		// Crash semantics: no final hot push (un-synced deltas are lost),
-		// no serving, no state transition — the heartbeat just stops.
-		e.scanDone <- struct{}{}
+		// Crash semantics (no Recovery): no final hot push (un-synced
+		// deltas are lost), no serving, no state transition — the
+		// heartbeat just stops.
+		if !recovery {
+			e.scanDone <- struct{}{}
+		}
 		return
 	}
+	w.cursor.Store(packCursor(w.opt.Epochs, 0))
 	// Final replica push so the engine's fold-in sees this worker's work.
 	e.hotSync(w)
 	e.state[w.id].Store(stateDone)
@@ -246,8 +378,9 @@ func (w *worker) scanSequence(seq []int32) {
 	if steps < 1 {
 		steps = 1
 	}
+	recovery := opt.Recovery
 	for i := range kept {
-		if w.crashed {
+		if w.crashed || (recovery && w.fenced.Load()) {
 			return
 		}
 		// Serve pending peer requests between window centers so a remote
@@ -270,14 +403,17 @@ func (w *worker) scanSequence(seq []int32) {
 			if p := w.processor(vi, vj); p != w.id {
 				// The pair belongs to someone else. If that someone is
 				// dead, the pair is lost cluster-wide; exactly one
-				// survivor accounts it (see countsDropsFor).
-				if e.anyDead.Load() && e.dead[p].Load() && w.countsDropsFor(p) {
+				// survivor accounts it (see countsDropsFor). Under
+				// recovery the dead partition comes back and retrains
+				// from its cursor, so nothing is lost and nothing is
+				// counted dropped.
+				if !recovery && e.anyDead.Load() && e.dead[p].Load() && w.countsDropsFor(p) {
 					w.droppedPairs.Add(1)
 				}
 				continue
 			}
 			w.trainPair(vi, vj)
-			if w.crashed {
+			if w.crashed || (recovery && w.fenced.Load()) {
 				return
 			}
 		}
@@ -324,29 +460,49 @@ func (w *worker) processor(vi, vj int32) int32 {
 // fire here, on the pair counter, so a plan replays exactly under a seed.
 func (w *worker) trainPair(vi, vj int32) {
 	e := w.e
-	if w.crashAt > 0 && w.pairs.Load() >= w.crashAt {
+	if arm := w.crashArmAt.Load(); arm > 0 && w.pairs.Load() >= arm {
 		w.crashed = true
+		w.crashesFired.Add(1)
+		// Disarm so the trigger is one-shot per incarnation; reinit re-arms
+		// it (relative to the pair count at restart) while the spec's fire
+		// budget lasts, and the persisted zero keeps a resumed run from
+		// re-firing a crash that already happened.
+		w.crashArmAt.Store(0)
 		return
 	}
-	if w.stallAt > 0 && !w.stalled && w.pairs.Load() >= w.stallAt {
-		w.stalled = true
-		time.Sleep(w.stallFor)
+	for w.stallIdx < len(w.stalls) && w.pairs.Load() >= w.stalls[w.stallIdx].AtPairs {
+		d := w.stalls[w.stallIdx].For
+		w.stallIdx++
+		time.Sleep(d)
 	}
 	e.heartbeat[w.id].Add(1)
 	w.pairs.Add(1)
+	if w.replacement {
+		w.recoveredPairs.Add(1)
+	}
+	recovery := w.opt.Recovery
 	vin := e.rowIn(w, vi)
 	local := e.hotIdx[vj] >= 0 || e.owner[vj] == w.id
 	if local {
 		w.localPairs.Add(1)
 		grad := w.tns(vin, vj, w.lr, w.r)
 		vecmath.Add(grad, vin)
-	} else if dst := e.owner[vj]; e.isDead(dst) {
+	} else if dst := e.owner[vj]; !recovery && e.isDead(dst) {
 		// Known-dead owner: skip the network entirely and degrade.
 		w.degraded.Add(1)
 		w.degradePair(vin, vj)
 	} else if grad, ok := w.remoteCall(dst, vin, vj); ok {
 		w.remotePairs.Add(1)
 		vecmath.Add(grad, vin)
+	} else if recovery {
+		// Under recovery remoteCall fails only because THIS incarnation was
+		// fenced mid-call. Un-count the pair: the replacement resumes from
+		// the cursor and retrains it, so counting it here would double it.
+		w.pairs.Add(^uint64(0))
+		if w.replacement {
+			w.recoveredPairs.Add(^uint64(0))
+		}
+		return
 	} else {
 		w.degraded.Add(1)
 		w.degradePair(vin, vj)
@@ -437,23 +593,40 @@ func (w *worker) degradePair(vin []float32, ctx int32) {
 
 // remoteCall ships in(v_i) to the owner of v_j and waits for the gradient,
 // serving incoming requests while blocked (deadlock freedom). Each attempt
-// is bounded by RemoteTimeout; after 1+RemoteRetries attempts, or as soon
-// as the destination is declared dead, it gives up and the caller
-// degrades. Every attempt uses a fresh request (fresh buffered reply
-// channel), so a late server answer to an abandoned attempt never blocks
-// the server and never corrupts a newer attempt.
+// is bounded by RemoteTimeout; retries wait out a jittered exponential
+// backoff (serving all the while). Without recovery: after 1+RemoteRetries
+// attempts, or as soon as the destination is declared dead, it gives up
+// and the caller degrades. With recovery: a dead owner is guaranteed to
+// come back (resurrection or takeover), so death is not an abort signal
+// and the attempt budget is unbounded — the only way out besides success
+// is this incarnation itself being fenced. Every attempt uses a fresh
+// request (fresh buffered reply channel), so a late server answer to an
+// abandoned attempt never blocks the server and never corrupts a newer
+// attempt.
 func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, bool) {
 	e := w.e
+	recovery := w.opt.Recovery
 	timeout := w.opt.remoteTimeout()
 	attempts := 1 + w.opt.remoteRetries()
 	if attempts < 1 {
 		attempts = 1
 	}
-	for a := 0; a < attempts; a++ {
+	deadc := e.deadCh[dst]
+	if recovery {
+		deadc = nil // a nil channel never fires in a select
+	}
+	for a := 0; recovery || a < attempts; a++ {
 		if a > 0 {
 			w.retries.Add(1)
+			if !w.backoffWait(a) {
+				return nil, false // fenced while backing off
+			}
 		}
-		if e.isDead(dst) {
+		if recovery {
+			if w.fenced.Load() {
+				return nil, false
+			}
+		} else if e.isDead(dst) {
 			return nil, false
 		}
 		// Fault injection: the request is lost on the wire. The requester
@@ -475,7 +648,7 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 				select {
 				case in := <-e.reqCh[w.id]:
 					w.serve(in)
-				case <-e.deadCh[dst]:
+				case <-deadc:
 					timer.Stop()
 					return nil, false
 				case <-timer.C:
@@ -490,7 +663,7 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 					sent = true
 				case in := <-e.reqCh[w.id]:
 					w.serve(in)
-				case <-e.deadCh[dst]:
+				case <-deadc:
 					timer.Stop()
 					return nil, false
 				case <-timer.C:
@@ -507,7 +680,7 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 						return grad, true
 					case in := <-e.reqCh[w.id]:
 						w.serve(in)
-					case <-e.deadCh[dst]:
+					case <-deadc:
 						timer.Stop()
 						return nil, false
 					case <-timer.C:
@@ -521,6 +694,44 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 		e.heartbeat[w.id].Add(1)
 	}
 	return nil, false
+}
+
+// backoffWait sleeps the jittered exponential backoff before retry
+// attempt a (a >= 1), serving this worker's own queue while it waits so
+// backoff can never deadlock the request mesh. Jitter comes from frng so
+// the training stream is untouched. Returns false if the incarnation was
+// fenced while waiting (recovery only).
+func (w *worker) backoffWait(a int) bool {
+	recovery := w.opt.Recovery
+	base := w.opt.retryBackoff()
+	if base <= 0 {
+		return !(recovery && w.fenced.Load())
+	}
+	shift := a - 1
+	if shift > 6 {
+		shift = 6 // bound the exponent: 64x base is the ceiling
+	}
+	d := time.Duration(float64(base<<shift) * (0.5 + w.frng.Float64()))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	// Backing off is deliberate waiting, not death: beat the heartbeat at
+	// the monitor's own cadence so a long (64x) backoff against a dead peer
+	// never gets THIS worker declared dead too.
+	beat := time.NewTicker(w.opt.heartbeatEvery())
+	defer beat.Stop()
+	for {
+		if recovery && w.fenced.Load() {
+			return false
+		}
+		select {
+		case in := <-w.e.reqCh[w.id]:
+			w.serve(in)
+		case <-beat.C:
+			w.e.heartbeat[w.id].Add(1)
+		case <-timer.C:
+			return true
+		}
+	}
 }
 
 // serve executes a TNS request against this worker's rows.

@@ -1,0 +1,53 @@
+package graph
+
+import "fmt"
+
+// Clone returns a deep copy of the partition. The distributed engine's
+// recovery layer mutates its own copy on partition takeover (Reassign) and
+// must never alias the caller's partition, which may be shared across runs.
+func (p *Partition) Clone() *Partition {
+	if p == nil {
+		return nil
+	}
+	q := &Partition{W: p.W, BetaUsed: p.BetaUsed}
+	if p.Of != nil {
+		q.Of = append([]int32(nil), p.Of...)
+	}
+	if p.LeafOf != nil {
+		q.LeafOf = append([]int32(nil), p.LeafOf...)
+	}
+	if p.Loads != nil {
+		q.Loads = append([]float64(nil), p.Loads...)
+	}
+	return q
+}
+
+// Reassign moves every item (and leaf category) of worker `from` onto worker
+// `to`, merging the load accounting — the bookkeeping half of a partition
+// takeover, where a survivor adopts a dead worker's HBGP partition. The
+// worker count W is unchanged: `from` simply ends up owning nothing. The
+// partition stays internally consistent (Loads sums preserved), so
+// Imbalance and CutFraction remain meaningful on the reassigned map.
+func (p *Partition) Reassign(from, to int) error {
+	if from < 0 || from >= p.W || to < 0 || to >= p.W {
+		return fmt.Errorf("graph: Reassign(%d, %d) out of range [0,%d)", from, to, p.W)
+	}
+	if from == to {
+		return fmt.Errorf("graph: Reassign(%d, %d): a worker cannot adopt itself", from, to)
+	}
+	for i, w := range p.Of {
+		if w == int32(from) {
+			p.Of[i] = int32(to)
+		}
+	}
+	for i, w := range p.LeafOf {
+		if w == int32(from) {
+			p.LeafOf[i] = int32(to)
+		}
+	}
+	if p.Loads != nil {
+		p.Loads[to] += p.Loads[from]
+		p.Loads[from] = 0
+	}
+	return nil
+}

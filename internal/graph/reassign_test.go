@@ -1,0 +1,74 @@
+package graph
+
+import "testing"
+
+func reassignFixture() *Partition {
+	return &Partition{
+		Of:       []int32{0, 1, 2, 1, 0, 2},
+		LeafOf:   []int32{0, 1, 2},
+		W:        3,
+		Loads:    []float64{10, 20, 30},
+		BetaUsed: 1.2,
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := reassignFixture()
+	q := p.Clone()
+	q.Of[0] = 2
+	q.Loads[0] = 99
+	q.LeafOf[0] = 2
+	if p.Of[0] != 0 || p.Loads[0] != 10 || p.LeafOf[0] != 0 {
+		t.Fatalf("Clone aliases the original: %+v", p)
+	}
+	if q.W != p.W || q.BetaUsed != p.BetaUsed {
+		t.Fatalf("Clone dropped scalar fields: %+v", q)
+	}
+	if (*Partition)(nil).Clone() != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}
+
+func TestReassignMovesItemsAndLoad(t *testing.T) {
+	p := reassignFixture()
+	var before float64
+	for _, l := range p.Loads {
+		before += l
+	}
+	if err := p.Reassign(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Of {
+		if w == 1 {
+			t.Fatalf("item %d still assigned to reassigned worker 1", i)
+		}
+	}
+	for i, w := range p.LeafOf {
+		if w == 1 {
+			t.Fatalf("leaf %d still assigned to reassigned worker 1", i)
+		}
+	}
+	if p.Loads[1] != 0 || p.Loads[0] != 30 {
+		t.Fatalf("load not merged: %v", p.Loads)
+	}
+	var after float64
+	for _, l := range p.Loads {
+		after += l
+	}
+	if after != before {
+		t.Fatalf("total load changed: %v -> %v", before, after)
+	}
+	// Imbalance must still be computable and >= 1 on a non-empty map.
+	if im := p.Imbalance(); im < 1 {
+		t.Fatalf("Imbalance after Reassign = %v", im)
+	}
+}
+
+func TestReassignRejectsBadArgs(t *testing.T) {
+	for _, tc := range [][2]int{{-1, 0}, {0, -1}, {3, 0}, {0, 3}, {1, 1}} {
+		p := reassignFixture()
+		if err := p.Reassign(tc[0], tc[1]); err == nil {
+			t.Errorf("Reassign(%d, %d) accepted", tc[0], tc[1])
+		}
+	}
+}

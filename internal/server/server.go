@@ -2,7 +2,8 @@
 // production surface that hands candidate sets to the ranking stage. It
 // covers the paper's three retrieval paths — item-to-item similarity (§II),
 // cold-start items via Eq. 6 (§IV-C2) and cold-start users via user-type
-// averaging (§IV-C1) — plus liveness, serving statistics and a Prometheus
+// averaging (§IV-C1) — plus liveness (/healthz), readiness (/readyz,
+// 503 while warming up or draining), serving statistics and a Prometheus
 // /metrics exposition.
 //
 // Cold-start endpoints accept both GET (catalog items / demographic query
@@ -21,6 +22,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"sisg/internal/corpus"
@@ -109,6 +111,12 @@ type Server struct {
 	cfg   Config
 	sem   chan struct{} // concurrency limiter; holds MaxInFlight tokens
 
+	// notReady inverts readiness so the zero value (and every existing
+	// constructor call) starts ready. /healthz keeps answering 200 while
+	// not ready — the process is alive — but /readyz answers 503, which is
+	// what a load balancer keys traffic on during warm-up and drain.
+	notReady atomic.Bool
+
 	reg *metrics.Registry
 	// Serving counters (registry-backed; Stats() snapshots them).
 	similar      *metrics.Counter
@@ -126,7 +134,7 @@ type Server struct {
 // bounded no matter what clients probe.
 var knownPaths = []string{
 	"/similar", "/coldstart/item", "/coldstart/user",
-	"/healthz", "/stats", "/metrics",
+	"/healthz", "/readyz", "/stats", "/metrics",
 }
 
 // New returns a server for the given dataset and model with default
@@ -181,6 +189,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/coldstart/item", s.handleColdItem)
 	mux.HandleFunc("/coldstart/user", s.handleColdUser)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.reg.Handler())
 	return s.harden(mux)
@@ -307,6 +316,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"vocab":   s.ds.Dict.Len(),
 		"dim":     s.model.Emb.Dim(),
 	})
+}
+
+// SetReady flips the /readyz answer. A server starts ready; flip it false
+// before http.Server.Shutdown so the load balancer stops routing new
+// traffic here while in-flight requests drain (liveness stays 200
+// throughout — killing a draining pod would truncate those requests).
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the current /readyz answer.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

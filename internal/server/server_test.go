@@ -58,6 +58,41 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// Readiness is separate from liveness: flipping SetReady(false) (what the
+// drain path does before Shutdown) turns /readyz into a 503 while
+// /healthz — and actual serving, for requests already routed here — keeps
+// answering 200.
+func TestReadyzFlipsIndependentlyOfHealthz(t *testing.T) {
+	s, ts := testServer(t)
+
+	var r map[string]string
+	resp := getJSON(t, ts.URL+"/readyz", &r)
+	if resp.StatusCode != http.StatusOK || r["status"] != "ready" {
+		t.Fatalf("fresh server: /readyz = %d %v, want 200 ready", resp.StatusCode, r)
+	}
+
+	s.SetReady(false)
+	if s.Ready() {
+		t.Fatal("Ready() true after SetReady(false)")
+	}
+	resp = getJSON(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: /readyz = %d, want 503", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining server: /healthz = %d, want 200 (alive)", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/similar?item=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining server must still serve routed requests: %d", resp.StatusCode)
+	}
+
+	s.SetReady(true)
+	resp = getJSON(t, ts.URL+"/readyz", &r)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-readied server: /readyz = %d, want 200", resp.StatusCode)
+	}
+}
+
 func TestSimilar(t *testing.T) {
 	_, ts := testServer(t)
 	var cands []Candidate
