@@ -47,7 +47,7 @@ func main() {
 		scs = append(scs, chaos.RandomScenario(*seed+uint64(i)))
 	}
 
-	failed := 0
+	var failedNames []string
 	ran := 0
 	start := time.Now()
 	for _, sc := range scs {
@@ -62,10 +62,13 @@ func main() {
 		if res.Passed() {
 			fmt.Printf("PASS %-28s (%v)\n", sc.Name, res.Elapsed.Round(time.Millisecond))
 		} else {
-			failed++
+			failedNames = append(failedNames, sc.Name)
 			fmt.Printf("FAIL %-28s (%v)\n", sc.Name, res.Elapsed.Round(time.Millisecond))
+			// One "scenario: violation" line per invariant break — the same
+			// greppable shape as sisg-lint's "file:line:col: check: message"
+			// diagnostics, so the lint and chaos CI jobs read alike.
 			for _, v := range res.Violations {
-				fmt.Printf("     %s\n", v)
+				fmt.Printf("%s: %s\n", sc.Name, v)
 			}
 		}
 		if *verbose || !res.Passed() {
@@ -75,8 +78,9 @@ func main() {
 				st.RecoveredPairs, st.Restarts, st.Takeovers, st.DeadWorkers, st.Hosts)
 		}
 	}
-	fmt.Printf("%d scenarios, %d failed (%v)\n", ran, failed, time.Since(start).Round(time.Millisecond))
-	if failed > 0 {
+	fmt.Printf("%d scenarios, %d failed (%v)\n", ran, len(failedNames), time.Since(start).Round(time.Millisecond))
+	if len(failedNames) > 0 {
+		fmt.Printf("failing: %s\n", strings.Join(failedNames, ", "))
 		os.Exit(1)
 	}
 }

@@ -51,7 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 	m, err := emb.Load(f)
-	f.Close()
+	_ = f.Close() // read-only file; a short read surfaces through the Load error
 	if err != nil {
 		log.Fatalf("loading %s: %v", *modelPath, err)
 	}

@@ -107,7 +107,7 @@ func main() {
 			log.Fatal(err)
 		}
 		m, err := emb.Load(f)
-		f.Close()
+		_ = f.Close() // read-only file; a short read surfaces through the Load error
 		if err != nil {
 			log.Fatal(err)
 		}

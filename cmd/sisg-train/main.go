@@ -119,7 +119,7 @@ func main() {
 			log.Fatal(err)
 		}
 		train, err = seqio.ReadBinary(f, ds.Dict.NumItems)
-		f.Close()
+		_ = f.Close() // read-only file; a short read surfaces through the ReadBinary error
 		if err != nil {
 			log.Fatalf("reading %s: %v", *sessions, err)
 		}
@@ -153,7 +153,7 @@ func main() {
 			log.Fatal(err)
 		}
 		prev, err := emb.Load(f)
-		f.Close()
+		_ = f.Close() // read-only file; a short read surfaces through the Load error
 		if err != nil {
 			log.Fatalf("loading %s: %v", *warmStart, err)
 		}

@@ -78,6 +78,7 @@ func (e *engine) registerMetrics(reg *metrics.Registry) {
 		{"train_workers", "configured worker count", func() float64 { return float64(e.opt.Workers) }},
 	}
 	for _, g := range gauges {
+		//lint:allow metricname every name comes from the static literal table above; cardinality is fixed
 		reg.GaugeFunc(g.name, g.help, g.fn)
 	}
 }

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden-file convention: a fixture line carrying a violation ends in
+//
+//	// want "regexp"
+//
+// (several quoted regexps if the line yields several diagnostics). The
+// harness fails on any diagnostic without a matching want and any want
+// without a matching diagnostic, so fixtures pin both positives and the
+// deliberately-clean counterexamples next to them.
+
+func TestMapOrderGolden(t *testing.T) {
+	runGolden(t, "maporder", "example.com/graph", MapOrder())
+}
+
+func TestGlobalRandGolden(t *testing.T) {
+	runGolden(t, "globalrand", "example.com/app", GlobalRand())
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	runGolden(t, "atomicmix", "example.com/app", AtomicMix())
+}
+
+func TestErrSinkGolden(t *testing.T) {
+	runGolden(t, "errsink", "example.com/checkpoint", ErrSink())
+}
+
+func TestMetricNameGolden(t *testing.T) {
+	runGolden(t, "metricname", "example.com/app", MetricName())
+}
+
+// Path-scoped analyzers must stay silent outside their scope: the same
+// fixtures, reloaded under a neutral module path, yield nothing.
+func TestScopedAnalyzersIgnoreOtherPackages(t *testing.T) {
+	for fixture, a := range map[string]*Analyzer{
+		"maporder": MapOrder(),
+		"errsink":  ErrSink(),
+	} {
+		mod := loadFixture(t, fixture, "example.com/unrelated")
+		if diags := mod.Lint(a); len(diags) != 0 {
+			t.Errorf("%s under a neutral path: want no diagnostics, got %v", fixture, diags)
+		}
+	}
+}
+
+// A //lint:allow comment suppresses exactly the one diagnostic on its
+// line, not its twin three lines up.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	mod := loadFixture(t, "allow", "example.com/app")
+	diags := mod.Lint(GlobalRand())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 surviving diagnostic, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Pos.Filename, "allow.go") || diags[0].Pos.Line != 7 {
+		t.Errorf("surviving diagnostic at %s, want allow.go:7 (the unsuppressed twin)", diags[0].Pos)
+	}
+}
+
+func loadFixture(t *testing.T, fixture, modPath string) *Module {
+	t.Helper()
+	mod, err := Load(filepath.Join("testdata", "src", fixture), modPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	return mod
+}
+
+func runGolden(t *testing.T, fixture, modPath string, a *Analyzer) {
+	t.Helper()
+	mod := loadFixture(t, fixture, modPath)
+	diags := mod.Lint(a)
+	wants := parseWants(t, mod)
+
+	for _, d := range diags {
+		ws := wants[wantKey{d.Pos.Filename, d.Pos.Line}]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantLineRe  = regexp.MustCompile(`// want (.+)$`)
+	wantTokenRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// parseWants extracts the `// want "..."` expectations from every loaded
+// fixture file.
+func parseWants(t *testing.T, mod *Module) map[wantKey][]*want {
+	t.Helper()
+	out := make(map[wantKey][]*want)
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for i, line := range strings.Split(string(f.Src), "\n") {
+				m := wantLineRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				k := wantKey{f.Path, i + 1}
+				for _, tok := range wantTokenRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want token %s: %v", f.Path, i+1, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", f.Path, i+1, pat, err)
+					}
+					out[k] = append(out[k], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}

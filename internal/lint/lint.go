@@ -1,0 +1,233 @@
+// Package lint is sisg's project-specific static analyzer suite. It loads
+// every package in the module with stdlib go/parser + go/types (no external
+// dependencies) and checks invariants the runtime test suite can only catch
+// probabilistically:
+//
+//   - maporder:   map iteration accumulating into ordered output without a
+//     sort step, in determinism-critical packages — unsorted map ranges are
+//     exactly the bug class that makes same-seed runs diverge.
+//   - globalrand: use of math/rand (global, mutex-guarded, unseeded by
+//     default) or time-derived seeds instead of internal/rng streams.
+//   - atomicmix:  a struct field accessed through sync/atomic in one place
+//     and by plain load/store in another (the noiseFor race, PR 1).
+//   - errsink:    discarded error returns from Write/Sync/Close/Flush in
+//     checkpoint, seqio, server and cmd paths.
+//   - metricname: metric registrations whose name argument is not a
+//     compile-time constant (unbounded label cardinality).
+//
+// A diagnostic can be suppressed with a comment:
+//
+//	//lint:allow <check> <one-line reason>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. Each comment covers a single source line, so a
+// suppression never silences more than it names.
+//
+// Only non-test files are analyzed: _test.go files may use math/rand,
+// unsorted iteration, etc. freely.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, pinned to a source position.
+type Diagnostic struct {
+	Pos     token.Position // file:line:col of the offending node
+	Check   string         // analyzer name, e.g. "maporder"
+	Message string
+}
+
+// String renders the canonical human form: file:line:col: check: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one invariant checker. Run is invoked once per package and
+// returns raw diagnostics; the framework applies //lint:allow suppression.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module, pkg *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder(),
+		GlobalRand(),
+		AtomicMix(),
+		ErrSink(),
+		MetricName(),
+	}
+}
+
+// ByName returns the named analyzers, or an error naming the first unknown.
+func ByName(names ...string) ([]*Analyzer, error) {
+	all := Analyzers()
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, len(all))
+			for i, a := range all {
+				known[i] = a.Name
+			}
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", n, strings.Join(known, ", "))
+		}
+	}
+	return out, nil
+}
+
+// Lint runs the analyzers over every loaded package, drops suppressed
+// diagnostics, and returns the rest sorted by position.
+func (m *Module) Lint(analyzers ...*Analyzer) []Diagnostic {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, a := range analyzers {
+			for _, d := range a.Run(m, pkg) {
+				d.Check = a.Name
+				if !pkg.allowed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// allow is one parsed //lint:allow comment: it suppresses diagnostics of
+// the named check on a single source line.
+type allow struct {
+	check string
+	line  int
+}
+
+// allowed reports whether d is suppressed by an allow comment in its file.
+func (p *Package) allowed(d Diagnostic) bool {
+	for _, f := range p.Files {
+		if f.Path != d.Pos.Filename {
+			continue
+		}
+		for _, a := range f.allows {
+			if a.check == d.Check && a.line == d.Pos.Line {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//lint:allow "
+
+// parseAllows extracts //lint:allow comments from a parsed file. A comment
+// at the end of a code line covers that line; a comment alone on its line
+// covers the line below it.
+func parseAllows(fset *token.FileSet, file *ast.File, src []byte) []allow {
+	var out []allow
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			check, _, _ := strings.Cut(rest, " ")
+			if check == "" {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			line := pos.Line
+			if standalone(src, pos.Offset) {
+				line++
+			}
+			out = append(out, allow{check: check, line: line})
+		}
+	}
+	return out
+}
+
+// standalone reports whether the comment starting at offset is the first
+// non-blank content on its line.
+func standalone(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // start of file
+}
+
+// pathHasSegment reports whether any "/"-separated segment of the package
+// import path equals one of names. Used to scope analyzers to the
+// determinism-critical or durability-critical parts of the tree.
+func pathHasSegment(path string, names ...string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		for _, n := range names {
+			if seg == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// objOf resolves an expression to the object it names, unwrapping parens:
+// an identifier or a field/package-qualified selector. Returns nil for
+// anything more complex.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// mentionsObj reports whether the subtree rooted at n references obj.
+func mentionsObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The repository must lint clean: every true positive is fixed and every
+// deliberate exception carries a //lint:allow. This is the same invariant
+// the CI lint job enforces through cmd/sisg-lint, expressed as a test so
+// `go test ./...` alone catches a reintroduced violation.
+func TestRepositoryLintsClean(t *testing.T) {
+	mod, err := Load("../..", "")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(mod.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the loader is missing most of the tree", len(mod.Pkgs))
+	}
+	for _, want := range []string{"sisg/internal/graph", "sisg/internal/dist", "sisg/cmd/sisg-train"} {
+		if mod.Package(want) == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	for _, d := range mod.Lint() {
+		t.Errorf("repository not lint-clean: %s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("maporder", "errsink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "maporder" || as[1].Name != "errsink" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil || !strings.Contains(err.Error(), "nosuchcheck") {
+		t.Fatalf("ByName(nosuchcheck) error = %v, want it named", err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+		Check:   "maporder",
+		Message: "boom",
+	}
+	if got, want := d.String(), "a/b.go:12:3: maporder: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestStandaloneCommentDetection(t *testing.T) {
+	src := []byte("x := 1 // tail\n\t// solo\n")
+	tail := strings.Index(string(src), "// tail")
+	solo := strings.Index(string(src), "// solo")
+	if standalone(src, tail) {
+		t.Error("end-of-line comment misclassified as standalone")
+	}
+	if !standalone(src, solo) {
+		t.Error("indented standalone comment not detected")
+	}
+	if !standalone([]byte("// top\n"), 0) {
+		t.Error("comment at offset 0 not detected as standalone")
+	}
+}
+
+func TestPathHasSegment(t *testing.T) {
+	if !pathHasSegment("sisg/internal/graph", "graph") {
+		t.Error("exact segment not matched")
+	}
+	if pathHasSegment("sisg/internal/graphics", "graph") {
+		t.Error("substring wrongly matched as a segment")
+	}
+	if !pathHasSegment("example.com/checkpoint", "checkpoint") {
+		t.Error("trailing segment not matched")
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture for the suppression semantics test: two identical violations,
+// one allowed. Exactly one diagnostic must survive.
+package app
+
+import "math/rand"
+
+func first() int { return rand.Int() }
+
+func second() int { return rand.Int() } //lint:allow globalrand deliberate: suppression-scope fixture

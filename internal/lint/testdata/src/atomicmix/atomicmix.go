@@ -1,0 +1,38 @@
+// Fixture for the atomicmix analyzer (module-wide; no path scope).
+package app
+
+import "sync/atomic"
+
+type counters struct {
+	mixed    uint64 // accessed both ways: flagged at the plain sites
+	atomOnly uint64 // only ever touched through sync/atomic: clean
+	plain    uint64 // never touched through sync/atomic: clean
+	typed    atomic.Uint64
+}
+
+func (c *counters) incAll() {
+	atomic.AddUint64(&c.mixed, 1)
+	atomic.AddUint64(&c.atomOnly, 1)
+	c.plain++
+	c.typed.Add(1)
+}
+
+func (c *counters) plainRead() uint64 {
+	return c.mixed // want "field mixed is accessed with sync/atomic"
+}
+
+func (c *counters) plainWrite() {
+	c.mixed = 0 // want "field mixed is accessed with sync/atomic"
+}
+
+func (c *counters) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.atomOnly)
+}
+
+func (c *counters) others() uint64 {
+	return c.plain + c.typed.Load()
+}
+
+func (c *counters) allowedSnapshot() uint64 {
+	return c.mixed //lint:allow atomicmix single-threaded teardown path; workers have exited
+}

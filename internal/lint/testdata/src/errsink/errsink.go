@@ -1,0 +1,52 @@
+// Fixture for the errsink analyzer. Loaded under the module path
+// "example.com/checkpoint" so the durability-critical scope applies; the
+// scope test reloads it under a neutral path and expects silence.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"strings"
+)
+
+func dropClose(f *os.File) {
+	f.Close() // want "Close error discarded"
+}
+
+func deferClose(f *os.File) {
+	defer f.Close() // want "Close error discarded"
+}
+
+func goClose(f *os.File) {
+	go f.Close() // want "Close error discarded"
+}
+
+func dropFlush(bw *bufio.Writer) {
+	bw.Flush() // want "Flush error discarded"
+}
+
+func dropSync(f *os.File) {
+	f.Sync() // want "Sync error discarded"
+}
+
+func dropWrite(f *os.File, p []byte) {
+	f.Write(p) // want "Write error discarded"
+}
+
+func checkedClose(f *os.File) error {
+	return f.Close()
+}
+
+func acknowledgedClose(f *os.File) {
+	_ = f.Close()
+}
+
+func neverFailWriters(b *strings.Builder, buf *bytes.Buffer) {
+	b.Write(nil)   // strings.Builder never fails: clean
+	buf.Write(nil) // bytes.Buffer never fails: clean
+}
+
+func allowedClose(f *os.File) {
+	f.Close() //lint:allow errsink read-only file descriptor
+}

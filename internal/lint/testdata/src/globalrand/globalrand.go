@@ -1,0 +1,43 @@
+// Fixture for the globalrand analyzer (module-wide; no path scope).
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "use of math/rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "use of math/rand.Shuffle"
+}
+
+func localStream() float64 {
+	src := rand.NewSource(1) // want "use of math/rand.NewSource"
+	r := rand.New(src)       // want "use of math/rand.New"
+	return r.Float64()       // want "use of math/rand.Float64"
+}
+
+func wallClockSeed() int64 {
+	seed := newSeed(time.Now().UnixNano()) // want "wall-clock seed passed to newSeed"
+	return seed
+}
+
+func wallClockConverted() uint64 {
+	return seedFrom(uint64(time.Now().UnixNano())) // want "wall-clock seed passed to seedFrom"
+}
+
+// elapsed time is not a seed: no New*/Seed* callee, not flagged.
+func elapsedOK() int64 {
+	return track(time.Now().UnixNano())
+}
+
+func allowedUse() int {
+	return rand.Int() //lint:allow globalrand demo: interop with an external API that wants the global source
+}
+
+func newSeed(n int64) int64    { return n }
+func seedFrom(n uint64) uint64 { return n }
+func track(n int64) int64      { return n }

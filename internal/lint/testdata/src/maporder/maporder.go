@@ -1,0 +1,75 @@
+// Fixture for the maporder analyzer. Loaded by golden_test.go under the
+// module path "example.com/graph" so the determinism-critical package
+// scope applies; the scope test reloads it under a neutral path and
+// expects silence.
+package graph
+
+import "sort"
+
+func collectUnsorted(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want "map iteration appends to \"keys\" with no sort step in collectUnsorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectSortSlice(m map[string]float64) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+func sumOnly(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func nestedMap(ms []map[int]int) []int {
+	var out []int
+	for k := range ms[0] { // want "map iteration appends to \"out\" with no sort step in nestedMap"
+		out = append(out, k)
+	}
+	return out
+}
+
+type bag struct {
+	items []string
+}
+
+func fieldAppend(b *bag, m map[string]bool) {
+	for k := range m { // want "map iteration appends to \"items\" with no sort step in fieldAppend"
+		b.items = append(b.items, k)
+	}
+}
+
+func fieldAppendSorted(b *bag, m map[string]bool) {
+	for k := range m {
+		b.items = append(b.items, k)
+	}
+	sort.Strings(b.items)
+}
+
+func allowedCollect(m map[int]string) []string {
+	var vals []string
+	//lint:allow maporder feeds a set; caller never depends on order
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}
