@@ -5,6 +5,11 @@
 //
 // Output is a textual rendering of each table/figure series; see
 // EXPERIMENTS.md for the committed reference run.
+//
+// With -retrieval, the command instead benchmarks the sharded retrieval
+// engine (internal/knn) against the pre-engine serial scan and asserts
+// bit-identical results across shard counts; -retrieval-rows, -retrieval-dim,
+// -retrieval-queries and -retrieval-k size the workload.
 package main
 
 import (
@@ -18,11 +23,24 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		quick = flag.Bool("quick", false, "use reduced corpus sizes (fast sanity run)")
-		seed  = flag.Uint64("seed", 0, "override corpus seed (0 = config default)")
+		exp       = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick     = flag.Bool("quick", false, "use reduced corpus sizes (fast sanity run)")
+		seed      = flag.Uint64("seed", 0, "override corpus seed (0 = config default)")
+		retrieval = flag.Bool("retrieval", false, "benchmark the retrieval engine instead of running experiments")
+		rRows     = flag.Int("retrieval-rows", 50000, "retrieval bench: matrix rows")
+		rDim      = flag.Int("retrieval-dim", 64, "retrieval bench: embedding dimensions")
+		rQueries  = flag.Int("retrieval-queries", 32, "retrieval bench: number of queries")
+		rK        = flag.Int("retrieval-k", 20, "retrieval bench: candidates per query")
 	)
 	flag.Parse()
+
+	if *retrieval {
+		if err := runRetrieval(os.Stdout, *rRows, *rDim, *rQueries, *rK); err != nil {
+			fmt.Fprintf(os.Stderr, "sisg-bench: retrieval: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"sisg/internal/emb"
+	"sisg/internal/knn"
+	"sisg/internal/rng"
+	"sisg/internal/vecmath"
+)
+
+// runRetrieval benchmarks the sharded retrieval engine against the
+// pre-engine serial scan (per-row vecmath.Dot feeding a top-k min-heap) on
+// a deterministic random matrix, reporting single-query and batched
+// throughput at several shard counts. It also asserts the engine's
+// determinism guarantee end to end: results must be bit-identical across
+// every shard count and between batched and single-query retrieval.
+//
+// The baseline uses the plain Dot kernel, so its scores can differ from
+// the engine's in the last bit (different accumulation order); identity is
+// therefore asserted engine-vs-engine, while the baseline serves as the
+// throughput reference.
+func runRetrieval(w io.Writer, rows, dim, nq, k int) error {
+	r := rng.New(42)
+	m := emb.NewMatrix(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()*2 - 1
+	}
+	queries := make([][]float32, nq)
+	for i := range queries {
+		queries[i] = make([]float32, dim)
+		for j := range queries[i] {
+			queries[i][j] = r.Float32()*2 - 1
+		}
+	}
+	fmt.Fprintf(w, "retrieval benchmark: %d rows x %d dims, %d queries, k=%d\n", rows, dim, nq, k)
+
+	elapsed := func(f func()) float64 {
+		start := time.Now()
+		f()
+		return time.Since(start).Seconds()
+	}
+	baseline := elapsed(func() {
+		for _, q := range queries {
+			serialScan(m, rows, q, k)
+		}
+	})
+	qps := float64(nq) / baseline
+	fmt.Fprintf(w, "%-28s %10.1f queries/sec  (1.00x)\n", "serial Dot+heap baseline", qps)
+
+	shardCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		shardCounts = append(shardCounts, n)
+	}
+	var want [][]knn.Result
+	for _, shards := range shardCounts {
+		ix := knn.NewIndexSharded(m, 0, false, shards)
+		secs := elapsed(func() {
+			for _, q := range queries {
+				ix.Query(q, knn.Options{K: k})
+			}
+		})
+		got := make([][]knn.Result, nq)
+		for i, q := range queries {
+			got[i] = ix.Query(q, knn.Options{K: k})
+		}
+		if want == nil {
+			want = got
+		} else if err := sameResultSets(want, got); err != nil {
+			return fmt.Errorf("shards=%d diverged from shards=%d: %v", shards, shardCounts[0], err)
+		}
+		label := fmt.Sprintf("engine shards=%d", shards)
+		fmt.Fprintf(w, "%-28s %10.1f queries/sec  (%.2fx)\n", label, float64(nq)/secs, baseline/secs)
+	}
+
+	ix := knn.NewIndexSharded(m, 0, false, 4)
+	var batched [][]knn.Result
+	secs := elapsed(func() { batched = ix.QueryBatch(queries, knn.Options{K: k}) })
+	if err := sameResultSets(want, batched); err != nil {
+		return fmt.Errorf("batch diverged from single-query: %v", err)
+	}
+	fmt.Fprintf(w, "%-28s %10.1f queries/sec  (%.2fx)\n", "engine batch shards=4", float64(nq)/secs, baseline/secs)
+	fmt.Fprintln(w, "determinism: bit-identical across shard counts and batch: OK")
+	return nil
+}
+
+// serialScan is the pre-engine retrieval path, reproduced as the baseline:
+// score each row with vecmath.Dot, keep the top k in a min-heap.
+func serialScan(m *emb.Matrix, rows int, q []float32, k int) []knn.Result {
+	h := make([]knn.Result, 0, k)
+	for i := 0; i < rows; i++ {
+		s := vecmath.Dot(m.Row(int32(i)), q)
+		if len(h) < k {
+			h = append(h, knn.Result{ID: int32(i), Score: s})
+			siftUp(h)
+		} else if s > h[0].Score {
+			h[0] = knn.Result{ID: int32(i), Score: s}
+			siftDown(h)
+		}
+	}
+	return h
+}
+
+func heapLess(a, b knn.Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+func siftUp(h []knn.Result) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDown(h []knn.Result) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && heapLess(h[l], h[s]) {
+			s = l
+		}
+		if r < len(h) && heapLess(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+}
+
+func sameResultSets(want, got [][]knn.Result) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d result sets vs %d", len(want), len(got))
+	}
+	for qi := range want {
+		if len(want[qi]) != len(got[qi]) {
+			return fmt.Errorf("query %d: %d results vs %d", qi, len(want[qi]), len(got[qi]))
+		}
+		for i := range want[qi] {
+			if want[qi][i].ID != got[qi][i].ID ||
+				math.Float32bits(want[qi][i].Score) != math.Float32bits(got[qi][i].Score) {
+				return fmt.Errorf("query %d pos %d: {%d %x} vs {%d %x}", qi, i,
+					want[qi][i].ID, math.Float32bits(want[qi][i].Score),
+					got[qi][i].ID, math.Float32bits(got[qi][i].Score))
+			}
+		}
+	}
+	return nil
+}

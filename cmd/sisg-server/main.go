@@ -2,13 +2,19 @@
 // internal/server): it trains (or loads) a SISG model and serves candidate
 // sets over HTTP, covering the paper's three production retrieval paths:
 //
-//	GET /similar?item=123&k=20          item-to-item candidates (§II)
-//	GET /coldstart/item?item=123&k=20   Eq. 6 SI-only inference (§IV-C2)
-//	GET /coldstart/user?gender=F&age=2&power=1&k=20
-//	                                    user-type averaging (§IV-C1)
-//	GET /healthz, /stats                liveness and serving counters
-//	GET /readyz                         readiness (503 while loading/draining)
-//	GET /metrics                        Prometheus text exposition
+//	GET /v1/similar?item=123&k=20          item-to-item candidates (§II)
+//	GET /v1/coldstart/item?item=123&k=20   Eq. 6 SI-only inference (§IV-C2)
+//	GET /v1/coldstart/user?gender=F&age=2&power=1&k=20
+//	                                       user-type averaging (§IV-C1)
+//	GET /v1/stats                          serving counters
+//	GET /healthz                           liveness
+//	GET /readyz                            readiness (503 while loading/draining)
+//	GET /metrics                           Prometheus text exposition
+//
+// The unversioned spellings (/similar, /coldstart/*, /stats) are legacy
+// aliases of the /v1 paths. Errors on every path share one JSON envelope:
+// {"error":{"code":"...","message":"..."}}. With -cache N, repeated
+// /similar queries are served from a bounded LRU of result sets.
 //
 // The listener binds immediately: while the corpus generates and the model
 // trains or loads, /healthz already answers 200 (the process is alive) and
@@ -54,6 +60,7 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "override corpus seed")
 		maxInFly   = flag.Int("max-inflight", 256, "concurrent requests before shedding 503s")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline")
+		cacheSize  = flag.Int("cache", 0, "LRU cache entries for repeated /similar queries (0 = off)")
 		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 		pprofAddr  = flag.String("pprof-addr", "", "expose net/http/pprof and /metrics on this sidecar address (e.g. localhost:6060)")
 	)
@@ -127,6 +134,7 @@ func main() {
 		MaxK:           *maxK,
 		MaxInFlight:    *maxInFly,
 		RequestTimeout: *reqTimeout,
+		CacheSize:      *cacheSize,
 		Metrics:        reg, // one registry for the serving port and the sidecar
 	})
 	handler.Store(s.Handler().ServeHTTP)

@@ -342,5 +342,9 @@ func (m *Model) Index() *knn.Index {
 
 // Similar returns the top-k items most similar to query by cosine over H.
 func (m *Model) Similar(query int32, k int) []knn.Result {
-	return m.Index().SearchNormalized(m.H.Row(query), k, func(id int32) bool { return id == query })
+	return m.Index().Query(m.H.Row(query), knn.Options{
+		K:         k,
+		Normalize: true,
+		Skip:      func(id int32) bool { return id == query },
+	})
 }

@@ -1,0 +1,272 @@
+package knn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sisg/internal/emb"
+	"sisg/internal/rng"
+	"sisg/internal/vecmath"
+)
+
+// referenceScan is the serial specification of the engine: score every row
+// with the reference kernel, sort under (score desc, id asc), truncate.
+// Query must match it bit-for-bit at every shard count and parallelism.
+func referenceScan(m *emb.Matrix, rows int, q []float32, opts Options) []Result {
+	if opts.K <= 0 {
+		return nil
+	}
+	if opts.Normalize {
+		qc := make([]float32, len(q))
+		copy(qc, q)
+		vecmath.Normalize(qc)
+		q = qc
+	}
+	scores := make([]float32, rows)
+	vecmath.DotRowsRef(scores, m.Data()[:rows*m.Dim], q)
+	var all []Result
+	for i := 0; i < rows; i++ {
+		if opts.Skip != nil && opts.Skip(int32(i)) {
+			continue
+		}
+		all = append(all, Result{ID: int32(i), Score: scores[i]})
+	}
+	sortResults(all)
+	if opts.K < len(all) {
+		all = all[:opts.K]
+	}
+	return all
+}
+
+func sameResults(t *testing.T, tag string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID ||
+			math.Float32bits(got[i].Score) != math.Float32bits(want[i].Score) {
+			t.Fatalf("%s: pos %d: got {%d %x} want {%d %x}", tag, i,
+				got[i].ID, math.Float32bits(got[i].Score),
+				want[i].ID, math.Float32bits(want[i].Score))
+		}
+	}
+}
+
+// The tentpole guarantee: parallel sharded Query is bit-identical to the
+// serial reference scan across random matrices, shard counts, k values
+// and skip functions.
+func TestQueryBitIdenticalToSerialProperty(t *testing.T) {
+	f := func(seed uint64, shardRaw, kRaw, parRaw uint8, normalize bool, withSkip bool) bool {
+		r := rng.New(seed)
+		rows := 50 + int(seed%900)
+		dim := 8 + int(seed%60)
+		m := emb.NewMatrix(rows, dim)
+		for i := range m.Data() {
+			m.Data()[i] = r.Float32()*2 - 1
+		}
+		q := make([]float32, dim)
+		for i := range q {
+			q[i] = r.Float32()*2 - 1
+		}
+		opts := Options{
+			K:           int(kRaw%64) + 1,
+			Normalize:   normalize,
+			Parallelism: int(parRaw%8) + 1,
+		}
+		if withSkip {
+			mod := int32(seed%7) + 2
+			opts.Skip = func(id int32) bool { return id%mod == 0 }
+		}
+		ix := NewIndexSharded(m, 0, false, int(shardRaw%9)+1)
+		got := ix.Query(q, opts)
+		want := referenceScan(m, rows, q, opts)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID ||
+				math.Float32bits(got[i].Score) != math.Float32bits(want[i].Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shard count must never change results — same matrix, same query, every
+// sharding from 1 to way-past-the-tile-count.
+func TestQueryShardInvariance(t *testing.T) {
+	r := rng.New(21)
+	const rows, dim = 1500, 24
+	m := emb.NewMatrix(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()*2 - 1
+	}
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = r.Float32()*2 - 1
+	}
+	want := referenceScan(m, rows, q, Options{K: 33})
+	for _, shards := range []int{1, 2, 3, 4, 7, 16, 1000} {
+		ix := NewIndexSharded(m, 0, false, shards)
+		sameResults(t, "shards", ix.Query(q, Options{K: 33}), want)
+	}
+}
+
+// QueryBatch must equal independent Query calls bit-for-bit, including
+// with a shared skip and normalization.
+func TestQueryBatchMatchesSingle(t *testing.T) {
+	r := rng.New(22)
+	const rows, dim, nq = 900, 16, 13
+	m := emb.NewMatrix(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()*2 - 1
+	}
+	qs := make([][]float32, nq)
+	for i := range qs {
+		qs[i] = make([]float32, dim)
+		for j := range qs[i] {
+			qs[i][j] = r.Float32()*2 - 1
+		}
+	}
+	for _, opts := range []Options{
+		{K: 9},
+		{K: 21, Normalize: true},
+		{K: 5, Skip: func(id int32) bool { return id%5 == 0 }},
+		{K: 2000}, // k > rows
+	} {
+		ix := NewIndexSharded(m, 0, false, 4)
+		got := ix.QueryBatch(qs, opts)
+		if len(got) != nq {
+			t.Fatalf("batch returned %d result sets", len(got))
+		}
+		for qi := range qs {
+			sameResults(t, "batch-vs-single", got[qi], ix.Query(qs[qi], opts))
+		}
+	}
+}
+
+// Queries issued concurrently against one shared index must not interfere
+// (run under -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	r := rng.New(23)
+	const rows, dim = 600, 12
+	m := emb.NewMatrix(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()*2 - 1
+	}
+	ix := NewIndexSharded(m, 0, false, 4)
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = r.Float32()*2 - 1
+	}
+	want := ix.Query(q, Options{K: 10})
+	done := make(chan []Result, 16)
+	for g := 0; g < 16; g++ {
+		go func() { done <- ix.Query(q, Options{K: 10, Parallelism: 2}) }()
+	}
+	for g := 0; g < 16; g++ {
+		sameResults(t, "concurrent", <-done, want)
+	}
+}
+
+// Ties on score must resolve to the lowest id, independent of sharding —
+// the case that breaks naive parallel merges.
+func TestTieBreakDeterminism(t *testing.T) {
+	const rows, dim = 64, 4
+	m := emb.NewMatrix(rows, dim)
+	// Every row identical: all scores tie exactly.
+	for i := 0; i < rows; i++ {
+		row := m.Row(int32(i))
+		for j := range row {
+			row[j] = 0.5
+		}
+	}
+	q := []float32{1, 2, 3, 4}
+	for _, shards := range []int{1, 3, 8} {
+		ix := NewIndexSharded(m, 0, false, shards)
+		got := ix.Query(q, Options{K: 10})
+		if len(got) != 10 {
+			t.Fatalf("shards=%d: %d results", shards, len(got))
+		}
+		for i, res := range got {
+			if res.ID != int32(i) {
+				t.Fatalf("shards=%d: tie broken to id %d at pos %d, want %d", shards, res.ID, i, i)
+			}
+		}
+	}
+}
+
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	r := rng.New(24)
+	const rows, dim = 300, 8
+	m := emb.NewMatrix(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()*2 - 1
+	}
+	ix := NewIndex(m, 0, false)
+	q := m.Row(3)
+
+	sameResults(t, "Search",
+		ix.Search(q, 7, func(id int32) bool { return id == 3 }),
+		ix.Query(q, Options{K: 7, Skip: func(id int32) bool { return id == 3 }}))
+	sameResults(t, "SearchNormalized",
+		ix.SearchNormalized(q, 7, nil),
+		ix.Query(q, Options{K: 7, Normalize: true}))
+
+	queries := [][]float32{m.Row(0), m.Row(1), m.Row(2)}
+	batch := ix.SearchBatch(queries, 4, func(qi int, id int32) bool { return int32(qi) == id })
+	for qi := range queries {
+		self := int32(qi)
+		sameResults(t, "SearchBatch",
+			batch[qi],
+			ix.Query(queries[qi], Options{K: 4, Skip: func(id int32) bool { return id == self }}))
+	}
+}
+
+func BenchmarkQuerySharded50k(b *testing.B) {
+	r := rng.New(25)
+	const rows, dim = 50000, 64
+	m := emb.NewMatrix(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()*2 - 1
+	}
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = r.Float32()*2 - 1
+	}
+	for _, shards := range []int{1, 4} {
+		ix := NewIndexSharded(m, 0, false, shards)
+		b.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.Query(q, Options{K: 20})
+			}
+		})
+	}
+}
+
+func BenchmarkQueryBatch50k(b *testing.B) {
+	r := rng.New(26)
+	const rows, dim, batch = 50000, 64, 32
+	m := emb.NewMatrix(rows, dim)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()*2 - 1
+	}
+	qs := make([][]float32, batch)
+	for i := range qs {
+		qs[i] = make([]float32, dim)
+		for j := range qs[i] {
+			qs[i][j] = r.Float32()*2 - 1
+		}
+	}
+	ix := NewIndex(m, 0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryBatch(qs, Options{K: 20})
+	}
+}

@@ -1,9 +1,25 @@
-// Package knn provides exact top-K retrieval over embedding matrices — the
-// matching stage's candidate generation ("the K most similar items",
-// §IV-A). Production systems put an ANN index here; for the corpus sizes in
-// this reproduction an exact, parallel brute-force scan is both simpler and
-// fast enough, and it removes retrieval error from the HitRate comparison
-// between model variants.
+// Package knn is the retrieval engine of the matching stage — exact top-K
+// search over embedding matrices ("the K most similar items", §IV-A).
+// Production systems put an ANN index here; for the corpus sizes in this
+// reproduction an exact scan is both simpler and fast enough, and it
+// removes retrieval error from the HitRate comparison between model
+// variants. What *is* production-shaped is the execution: the matrix is
+// split into row shards, every query fans out across shards on a bounded
+// worker pool, each shard is scored with the cache-blocked SIMD kernel in
+// internal/vecmath and reduced into a per-shard top-k min-heap, and the
+// shard heaps merge under the total order (score desc, id asc).
+//
+// Determinism guarantee: for a given matrix and query, Query returns
+// results bit-identical to a serial reference scan — independent of shard
+// count, worker count, batching, and platform. Two facts carry this:
+// scores come from one fixed accumulation schedule (vecmath.DotRows ==
+// vecmath.DotRowsRef, bit-exact), and (score desc, id asc) is a total
+// order, so top-k selection has exactly one answer no matter how the scan
+// is partitioned.
+//
+// The single entry points are Query and QueryBatch, both taking Options;
+// Search, SearchNormalized and SearchBatch are deprecated wrappers kept
+// for source compatibility.
 package knn
 
 import (
@@ -11,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sisg/internal/emb"
 	"sisg/internal/vecmath"
@@ -22,108 +39,317 @@ type Result struct {
 	Score float32
 }
 
-// Index scans rows [0, rows) of a matrix. If normalize is true the rows are
-// copied and L2-normalized so dot products become cosine similarities (the
-// symmetric-model scoring rule); if false raw dot products are returned
-// (the directed in·out scoring rule).
-type Index struct {
-	mat  *emb.Matrix
-	rows int
+// Options controls one Query or QueryBatch call.
+type Options struct {
+	// K is the number of neighbours to return (<=0 returns nil).
+	K int
+	// Normalize L2-normalizes a private copy of the query before scoring,
+	// turning dot products against a normalized index into cosine
+	// similarities. The caller's slice is never mutated.
+	Normalize bool
+	// Skip, if non-nil, excludes rows from the result (typically the query
+	// item itself). In QueryBatch the same predicate applies to every
+	// query in the batch; per-query exclusion is done by querying k+1 and
+	// dropping the known id, or by issuing single Query calls.
+	Skip func(int32) bool
+	// Parallelism bounds the workers fanning one call across shards
+	// (<=0 means GOMAXPROCS). It affects speed only, never results.
+	Parallelism int
 }
 
-// NewIndex builds an index over the first rows rows of mat. rows <= 0 means
-// all rows. When normalize is set the matrix is copied; otherwise the index
-// holds a reference and callers must not mutate mat during searches.
+// blockRows is the scan tile: scores are computed blockRows rows at a time
+// into a scratch buffer, so the kernel runs branch-free over contiguous
+// memory and a batch can reuse a resident block across queries.
+// 256 rows × 128 dims × 4 B = 128 KiB, comfortably inside L2.
+const blockRows = 256
+
+// span is one shard's half-open row range.
+type span struct{ lo, hi int }
+
+// Index is a sharded retrieval index over the first rows rows of a
+// matrix. It is immutable after construction and safe for concurrent use.
+type Index struct {
+	mat    *emb.Matrix
+	rows   int
+	shards []span
+}
+
+// NewIndex builds an index over the first rows rows of mat with automatic
+// sharding (one shard per CPU, fewer for small matrices). rows <= 0 means
+// all rows. When normalize is set the matrix is copied and row-normalized
+// (dot products become cosines); otherwise the index holds a reference and
+// callers must not mutate mat during searches.
 func NewIndex(mat *emb.Matrix, rows int, normalize bool) *Index {
+	return NewIndexSharded(mat, rows, normalize, 0)
+}
+
+// NewIndexSharded is NewIndex with an explicit shard count (<=0 means
+// automatic). Shard count affects parallel speed only: results are
+// bit-identical at every shard count.
+func NewIndexSharded(mat *emb.Matrix, rows int, normalize bool, shards int) *Index {
 	if rows <= 0 || rows > mat.Rows() {
 		rows = mat.Rows()
 	}
 	if normalize {
 		mat = emb.NormalizedCopy(mat)
 	}
-	return &Index{mat: mat, rows: rows}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	// No point cutting shards smaller than a scan tile.
+	if maxShards := (rows + blockRows - 1) / blockRows; shards > maxShards {
+		shards = maxShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	ix := &Index{mat: mat, rows: rows, shards: make([]span, 0, shards)}
+	for s := 0; s < shards; s++ {
+		lo := rows * s / shards
+		hi := rows * (s + 1) / shards
+		if lo < hi {
+			ix.shards = append(ix.shards, span{lo, hi})
+		}
+	}
+	return ix
 }
 
 // Rows returns the number of indexed rows.
 func (ix *Index) Rows() int { return ix.rows }
 
-// Search returns the top-k rows by dot product with query, descending.
-// skip, if non-nil, excludes rows (typically the query item itself).
-// The query slice is read-only.
-func (ix *Index) Search(query []float32, k int, skip func(int32) bool) []Result {
-	if k <= 0 {
+// Shards returns the number of row shards.
+func (ix *Index) Shards() int { return len(ix.shards) }
+
+// Query returns the top-K rows by dot product with q under the total
+// order (score desc, id asc), honouring opts. The query slice is
+// read-only. Results are bit-identical to a serial scan regardless of
+// sharding and parallelism.
+func (ix *Index) Query(q []float32, opts Options) []Result {
+	if opts.K <= 0 || ix.rows == 0 {
 		return nil
 	}
-	h := make(minHeap, 0, k)
-	for i := 0; i < ix.rows; i++ {
-		id := int32(i)
-		if skip != nil && skip(id) {
-			continue
-		}
-		s := vecmath.Dot(query, ix.mat.Row(id))
-		if len(h) < k {
-			heap.Push(&h, Result{ID: id, Score: s})
-		} else if s > h[0].Score {
-			h[0] = Result{ID: id, Score: s}
-			heap.Fix(&h, 0)
-		}
-	}
-	sort.Slice(h, func(a, b int) bool {
-		if h[a].Score != h[b].Score {
-			return h[a].Score > h[b].Score
-		}
-		return h[a].ID < h[b].ID
+	q = ix.prepared(q, opts)
+	per := make([]minHeap, len(ix.shards))
+	ix.fanOut(opts.effectiveWorkers(len(ix.shards)), func(si int, buf []float32) {
+		h := make(minHeap, 0, opts.K)
+		ix.scanShard(&h, buf, q, ix.shards[si], opts.K, opts.Skip)
+		per[si] = h
 	})
-	return h
+	return mergeTopK(per, opts.K)
 }
 
-// SearchNormalized is Search with the query L2-normalized first; combined
-// with a normalized index this yields true cosine scores.
-func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool) []Result {
-	q := make([]float32, len(query))
-	copy(q, query)
-	vecmath.Normalize(q)
-	return ix.Search(q, k, skip)
+// QueryBatch runs Query for every query in qs under one shared Options
+// and returns results in query order. Queries are coalesced per shard:
+// each scan tile of rows is streamed once and scored against every query
+// while it is cache-resident, so a batch costs far less memory traffic
+// than len(qs) single queries. Results are bit-identical to len(qs)
+// independent Query calls.
+func (ix *Index) QueryBatch(qs [][]float32, opts Options) [][]Result {
+	out := make([][]Result, len(qs))
+	if opts.K <= 0 || ix.rows == 0 || len(qs) == 0 {
+		return out
+	}
+	prepared := make([][]float32, len(qs))
+	for i, q := range qs {
+		prepared[i] = ix.prepared(q, opts)
+	}
+	// per[si][qi] is query qi's top-k heap over shard si.
+	per := make([][]minHeap, len(ix.shards))
+	ix.fanOut(opts.effectiveWorkers(len(ix.shards)), func(si int, buf []float32) {
+		hs := make([]minHeap, len(prepared))
+		for qi := range hs {
+			hs[qi] = make(minHeap, 0, opts.K)
+		}
+		sp := ix.shards[si]
+		dim := ix.mat.Dim
+		data := ix.mat.Data()
+		for b := sp.lo; b < sp.hi; b += blockRows {
+			n := min(blockRows, sp.hi-b)
+			block := data[b*dim : (b+n)*dim : (b+n)*dim]
+			for qi, q := range prepared {
+				scores := buf[:n]
+				vecmath.DotRows(scores, block, q)
+				sift(&hs[qi], scores, int32(b), opts.K, opts.Skip)
+			}
+		}
+		per[si] = hs
+	})
+	shardHeaps := make([]minHeap, len(ix.shards))
+	for qi := range out {
+		for si := range per {
+			shardHeaps[si] = per[si][qi]
+		}
+		out[qi] = mergeTopK(shardHeaps, opts.K)
+	}
+	return out
 }
 
-// SearchBatch runs Search for many queries in parallel and returns results
-// in query order. skip receives (queryIndex, candidateID).
-func (ix *Index) SearchBatch(queries [][]float32, k int, skip func(int, int32) bool) [][]Result {
-	out := make([][]Result, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
+// prepared returns the query to scan with: the caller's slice as-is, or a
+// normalized private copy when opts.Normalize is set.
+func (ix *Index) prepared(q []float32, opts Options) []float32 {
+	if !opts.Normalize {
+		return q
 	}
-	if workers < 1 {
-		workers = 1
+	qc := make([]float32, len(q))
+	copy(qc, q)
+	vecmath.Normalize(qc)
+	return qc
+}
+
+// effectiveWorkers bounds the fan-out width by the shard count.
+func (o Options) effectiveWorkers(shards int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	var next int64 = -1
-	var mu sync.Mutex
-	claim := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		next++
-		return int(next)
+	if w > shards {
+		w = shards
 	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// fanOut runs work(shardIndex, scratch) for every shard on up to workers
+// goroutines. Each worker owns one scratch score buffer for its lifetime.
+func (ix *Index) fanOut(workers int, work func(si int, buf []float32)) {
+	if workers == 1 {
+		buf := make([]float32, blockRows)
+		for si := range ix.shards {
+			work(si, buf)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := make([]float32, blockRows)
 			for {
-				i := claim()
-				if i >= len(queries) {
+				si := int(next.Add(1))
+				if si >= len(ix.shards) {
 					return
 				}
-				var sk func(int32) bool
-				if skip != nil {
-					sk = func(id int32) bool { return skip(i, id) }
-				}
-				out[i] = ix.Search(queries[i], k, sk)
+				work(si, buf)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// scanShard reduces one shard into h: scores are computed one tile at a
+// time by the blocked kernel, then folded into the k-bounded min-heap in
+// ascending row order (which keeps tie handling identical to a serial
+// scan).
+func (ix *Index) scanShard(h *minHeap, buf []float32, q []float32, sp span, k int, skip func(int32) bool) {
+	dim := ix.mat.Dim
+	data := ix.mat.Data()
+	for b := sp.lo; b < sp.hi; b += blockRows {
+		n := min(blockRows, sp.hi-b)
+		scores := buf[:n]
+		vecmath.DotRows(scores, data[b*dim:(b+n)*dim:(b+n)*dim], q)
+		sift(h, scores, int32(b), k, skip)
+	}
+}
+
+// sift folds one tile of scores (for rows base, base+1, …) into the heap.
+// The no-skip fast path caches the heap-root threshold in a local so the
+// common case — a row that does not make the top-k — costs one float
+// compare per row.
+func sift(h *minHeap, scores []float32, base int32, k int, skip func(int32) bool) {
+	i := 0
+	for ; i < len(scores) && len(*h) < k; i++ {
+		id := base + int32(i)
+		if skip != nil && skip(id) {
+			continue
+		}
+		heap.Push(h, Result{ID: id, Score: scores[i]})
+	}
+	if i == len(scores) {
+		return
+	}
+	root := (*h)[0].Score
+	if skip == nil {
+		for ; i < len(scores); i++ {
+			if s := scores[i]; s > root {
+				(*h)[0] = Result{ID: base + int32(i), Score: s}
+				heap.Fix(h, 0)
+				root = (*h)[0].Score
+			}
+		}
+		return
+	}
+	for ; i < len(scores); i++ {
+		if s := scores[i]; s > root && !skip(base+int32(i)) {
+			(*h)[0] = Result{ID: base + int32(i), Score: s}
+			heap.Fix(h, 0)
+			root = (*h)[0].Score
+		}
+	}
+}
+
+// mergeTopK concatenates per-shard heaps and selects the global top-k
+// under the total order (score desc, id asc). Because the order is total,
+// the outcome is independent of shard boundaries and merge order.
+func mergeTopK(per []minHeap, k int) []Result {
+	total := 0
+	for _, h := range per {
+		total += len(h)
+	}
+	all := make([]Result, 0, total)
+	for _, h := range per {
+		all = append(all, h...)
+	}
+	sortResults(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// sortResults orders by score descending, breaking ties by id ascending —
+// the engine's canonical total order.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Score != rs[b].Score {
+			return rs[a].Score > rs[b].Score
+		}
+		return rs[a].ID < rs[b].ID
+	})
+}
+
+// Search returns the top-k rows by dot product with query, descending.
+//
+// Deprecated: use Query with Options{K: k, Skip: skip}.
+func (ix *Index) Search(query []float32, k int, skip func(int32) bool) []Result {
+	return ix.Query(query, Options{K: k, Skip: skip})
+}
+
+// SearchNormalized is Search with the query L2-normalized first.
+//
+// Deprecated: use Query with Options{K: k, Normalize: true, Skip: skip}.
+func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool) []Result {
+	return ix.Query(query, Options{K: k, Normalize: true, Skip: skip})
+}
+
+// SearchBatch runs Search for many queries and returns results in query
+// order. skip receives (queryIndex, candidateID).
+//
+// Deprecated: use QueryBatch, whose Options.Skip matches the single-query
+// signature; for per-query exclusion query k+1 and drop the known id.
+func (ix *Index) SearchBatch(queries [][]float32, k int, skip func(int, int32) bool) [][]Result {
+	if skip == nil {
+		return ix.QueryBatch(queries, Options{K: k})
+	}
+	out := make([][]Result, len(queries))
+	for i := range queries {
+		qi := i
+		out[i] = ix.Query(queries[i], Options{K: k, Skip: func(id int32) bool { return skip(qi, id) }})
+	}
 	return out
 }
 

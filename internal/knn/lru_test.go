@@ -1,0 +1,88 @@
+package knn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, []Result{{ID: 1}})
+	c.Put(2, []Result{{ID: 2}})
+	if v, ok := c.Get(1); !ok || v[0].ID != 1 {
+		t.Fatalf("Get(1) = %v %v", v, ok)
+	}
+	// 1 is now most recent; inserting 3 must evict 2.
+	c.Put(3, []Result{{ID: 3}})
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("recently-used entry 1 was evicted")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("newest entry 3 missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Hits() != 3 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 3/2", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUOverwrite(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(1, []Result{{ID: 1}})
+	c.Put(1, []Result{{ID: 9}})
+	if v, _ := c.Get(1); v[0].ID != 9 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", c.Len())
+	}
+}
+
+func TestLRUCapacityFloor(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(1, nil)
+	c.Put(2, nil)
+	if c.Len() != 1 {
+		t.Fatalf("capacity floor violated: Len = %d", c.Len())
+	}
+}
+
+// Hammer the cache from many goroutines; run under -race in CI. The
+// assertions are deliberately weak (bounded size, sane counters) — the
+// point is the interleaving.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(64)
+	var wg sync.WaitGroup
+	const workers, ops = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := uint64((w*31 + i) % 200)
+				if v, ok := c.Get(key); ok {
+					if v != nil && v[0].ID != int32(key) {
+						panic("cache returned wrong value")
+					}
+					continue
+				}
+				c.Put(key, []Result{{ID: int32(key)}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+	if c.Hits()+c.Misses() == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

@@ -11,6 +11,12 @@
 // because the production cold-start case is precisely an item or user the
 // catalog does not know yet.
 //
+// The retrieval API is versioned: /v1/similar, /v1/coldstart/item,
+// /v1/coldstart/user and /v1/stats are the canonical paths, with the
+// unversioned spellings kept as legacy aliases. Every error — bad input,
+// shed load, timeout, recovered panic — is answered with one JSON shape:
+// {"error":{"code":"...","message":"..."}}.
+//
 // The package is the testable core behind cmd/sisg-server.
 package server
 
@@ -75,6 +81,10 @@ type Config struct {
 	// LatencyBuckets overrides the request-latency histogram bounds
 	// (seconds, ascending). Nil means metrics.DefBuckets.
 	LatencyBuckets []float64
+	// CacheSize bounds the /similar result cache in entries. Production
+	// matching traffic is heavily head-skewed, so a modest cache absorbs a
+	// large fraction of full-matrix scans. <=0 disables caching.
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,13 +137,23 @@ type Server struct {
 	shed         *metrics.Counter
 
 	endpoints map[string]*endpointMetrics
+
+	// cache, when non-nil, memoizes /similar result sets keyed by
+	// (item, k); values are shared read-only slices.
+	cache        *knn.LRU
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+	scanSeconds  *metrics.Histogram
+	cacheSeconds *metrics.Histogram
 }
 
 // knownPaths are the routes instrumented with their own label value;
 // anything else shares the "other" series so label cardinality stays
-// bounded no matter what clients probe.
+// bounded no matter what clients probe. The /v1 aliases get their own
+// series — the split tells you how far client migration has progressed.
 var knownPaths = []string{
 	"/similar", "/coldstart/item", "/coldstart/user",
+	"/v1/similar", "/v1/coldstart/item", "/v1/coldstart/user", "/v1/stats",
 	"/healthz", "/readyz", "/stats", "/metrics",
 }
 
@@ -176,6 +196,16 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 	reg.GaugeFunc("http_inflight", "requests currently executing", func() float64 {
 		return float64(len(s.sem))
 	})
+	s.scanSeconds = reg.Histogram("retrieval_seconds", "similar-item retrieval latency, by source", cfg.LatencyBuckets, metrics.L("source", "scan"))
+	s.cacheSeconds = reg.Histogram("retrieval_seconds", "similar-item retrieval latency, by source", cfg.LatencyBuckets, metrics.L("source", "cache"))
+	if cfg.CacheSize > 0 {
+		s.cache = knn.NewLRU(cfg.CacheSize)
+		s.cacheHits = reg.Counter("retrieval_cache_hits_total", "/similar requests answered from the result cache")
+		s.cacheMisses = reg.Counter("retrieval_cache_misses_total", "/similar requests that fell through to a full scan")
+		reg.GaugeFunc("retrieval_cache_entries", "entries currently held by the /similar result cache", func() float64 {
+			return float64(s.cache.Len())
+		})
+	}
 	return s
 }
 
@@ -183,14 +213,23 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Handler returns the routed HTTP handler wrapped in the hardening chain.
+//
+// The retrieval API is versioned under /v1/; the unversioned paths are
+// legacy aliases kept for existing integrations and serve byte-identical
+// responses. Operational endpoints (/healthz, /readyz, /metrics) stay
+// unversioned — they speak to infrastructure, not API clients.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/similar", s.handleSimilar)
+	mux.HandleFunc("/v1/coldstart/item", s.handleColdItem)
+	mux.HandleFunc("/v1/coldstart/user", s.handleColdUser)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/similar", s.handleSimilar)
 	mux.HandleFunc("/coldstart/item", s.handleColdItem)
 	mux.HandleFunc("/coldstart/user", s.handleColdUser)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
-	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.reg.Handler())
 	return s.harden(mux)
 }
@@ -202,7 +241,30 @@ func (s *Server) Handler() http.Handler {
 // 503 + Retry-After immediately), and a per-request deadline (one stuck
 // request cannot hold a connection forever).
 func (s *Server) harden(h http.Handler) http.Handler {
-	return s.withRecovery(s.instrument(s.withLimit(http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out"))))
+	return s.withRecovery(s.instrument(s.withLimit(http.TimeoutHandler(h, s.cfg.RequestTimeout, timeoutBody))))
+}
+
+// timeoutBody is the envelope http.TimeoutHandler writes on 503; it cannot
+// call writeError, so the JSON is spelled out.
+const timeoutBody = `{"error":{"code":"timeout","message":"request timed out"}}`
+
+// errorEnvelope is the uniform error shape of the API, on every path and
+// every failure mode: {"error":{"code":"...","message":"..."}}. code is a
+// small stable enum (bad_request, overloaded, timeout, internal) meant for
+// programs; message is prose meant for humans.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: message}})
 }
 
 // statusRecorder captures the response status for instrumentation.
@@ -272,7 +334,7 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 					panic(p)
 				}
 				s.panics.Inc()
-				http.Error(w, "internal server error", http.StatusInternalServerError)
+				writeError(w, http.StatusInternalServerError, "internal", "internal server error")
 			}
 		}()
 		h.ServeHTTP(w, r)
@@ -291,7 +353,7 @@ func (s *Server) withLimit(h http.Handler) http.Handler {
 		default:
 			s.shed.Inc()
 			w.Header().Set("Retry-After", retryAfter)
-			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, "overloaded", "server overloaded, retry later")
 		}
 	})
 }
@@ -347,7 +409,25 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.similar.Inc()
-	s.writeCandidates(w, s.model.SimilarItems(item, k))
+	start := time.Now()
+	if s.cache != nil {
+		key := uint64(uint32(item))<<32 | uint64(uint32(k))
+		if recs, hit := s.cache.Get(key); hit {
+			s.cacheHits.Inc()
+			s.cacheSeconds.ObserveSince(start)
+			s.writeCandidates(w, recs)
+			return
+		}
+		recs := s.model.SimilarItems(item, k)
+		s.cache.Put(key, recs)
+		s.cacheMisses.Inc()
+		s.scanSeconds.ObserveSince(start)
+		s.writeCandidates(w, recs)
+		return
+	}
+	recs := s.model.SimilarItems(item, k)
+	s.scanSeconds.ObserveSince(start)
+	s.writeCandidates(w, recs)
 }
 
 // coldItemRequest is the POST body of /coldstart/item: a brand-new item
@@ -529,7 +609,7 @@ func (s *Server) writeCandidates(w http.ResponseWriter, recs []knn.Result) {
 
 func (s *Server) clientError(w http.ResponseWriter, format string, args ...interface{}) {
 	s.clientErrors.Inc()
-	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+	writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf(format, args...))
 }
 
 // intParam returns the integer query parameter, the default when absent,

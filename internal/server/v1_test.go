@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func fetchBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// The /v1 paths are the canonical API; the unversioned spellings are
+// aliases that must serve byte-identical responses.
+func TestV1AliasesServeIdenticalBodies(t *testing.T) {
+	_, ts := testServer(t)
+	for _, q := range []string{
+		"/similar?item=5&k=7",
+		"/coldstart/item?item=3&k=5",
+		"/coldstart/user?gender=F&power=1&k=4",
+	} {
+		legacyCode, legacy := fetchBody(t, ts.URL+q)
+		v1Code, v1 := fetchBody(t, ts.URL+"/v1"+q)
+		if legacyCode != http.StatusOK || v1Code != http.StatusOK {
+			t.Fatalf("%s: legacy %d, v1 %d", q, legacyCode, v1Code)
+		}
+		if string(legacy) != string(v1) {
+			t.Fatalf("%s: alias bodies differ:\nlegacy: %s\nv1:     %s", q, legacy, v1)
+		}
+	}
+	// /stats bumps no counters itself, so back-to-back fetches must agree.
+	if _, legacy := fetchBody(t, ts.URL+"/stats"); true {
+		if _, v1 := fetchBody(t, ts.URL+"/v1/stats"); string(legacy) != string(v1) {
+			t.Fatalf("/stats alias bodies differ:\nlegacy: %s\nv1:     %s", legacy, v1)
+		}
+	}
+}
+
+func decodeEnvelope(t *testing.T, b []byte) errorEnvelope {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %v\nbody: %s", err, b)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", b)
+	}
+	return env
+}
+
+// Every failure mode — bad input, recovered panic, shed load, timeout —
+// must answer with the one JSON error shape and a stable machine code.
+func TestErrorEnvelope(t *testing.T) {
+	s, ts := testServer(t)
+
+	code, body := fetchBody(t, ts.URL+"/v1/similar?item=notanint")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad input: status %d", code)
+	}
+	if env := decodeEnvelope(t, body); env.Error.Code != "bad_request" {
+		t.Fatalf("bad input: code %q, want bad_request", env.Error.Code)
+	}
+
+	boom := s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	boom.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/similar", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic: status %d", rec.Code)
+	}
+	if env := decodeEnvelope(t, rec.Body.Bytes()); env.Error.Code != "internal" {
+		t.Fatalf("panic: code %q, want internal", env.Error.Code)
+	}
+
+	s.sem = make(chan struct{}, 1)
+	s.sem <- struct{}{} // saturate the limiter
+	shed := s.withLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec = httptest.NewRecorder()
+	shed.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/similar", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed: status %d", rec.Code)
+	}
+	if env := decodeEnvelope(t, rec.Body.Bytes()); env.Error.Code != "overloaded" {
+		t.Fatalf("shed: code %q, want overloaded", env.Error.Code)
+	}
+
+	// http.TimeoutHandler writes timeoutBody verbatim; it must parse as
+	// the same envelope.
+	if env := decodeEnvelope(t, []byte(timeoutBody)); env.Error.Code != "timeout" {
+		t.Fatalf("timeout: code %q, want timeout", env.Error.Code)
+	}
+}
+
+// With CacheSize set, a repeated /similar query is served from the cache
+// byte-identically, and hits/misses are counted; a different k is a
+// different cache key.
+func TestSimilarCache(t *testing.T) {
+	s, _ := testServer(t)
+	cached := NewConfigured(s.ds, s.model, Config{MaxK: 100, CacheSize: 8})
+	ts := httptest.NewServer(cached.Handler())
+	defer ts.Close()
+
+	code1, first := fetchBody(t, ts.URL+"/v1/similar?item=5&k=7")
+	code2, second := fetchBody(t, ts.URL+"/v1/similar?item=5&k=7")
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("status %d / %d", code1, code2)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("cached response differs:\nscan:  %s\ncache: %s", first, second)
+	}
+	if h, m := cached.cache.Hits(), cached.cache.Misses(); h != 1 || m != 1 {
+		t.Fatalf("after repeat: hits=%d misses=%d, want 1/1", h, m)
+	}
+	if _, b := fetchBody(t, ts.URL+"/v1/similar?item=5&k=9"); len(b) == 0 {
+		t.Fatal("empty body for k=9")
+	}
+	if h, m := cached.cache.Hits(), cached.cache.Misses(); h != 1 || m != 2 {
+		t.Fatalf("after new k: hits=%d misses=%d, want 1/2", h, m)
+	}
+	if got := cached.cacheHits.Value(); got != 1 {
+		t.Fatalf("retrieval_cache_hits_total = %d, want 1", got)
+	}
+	if got := cached.cacheMisses.Value(); got != 2 {
+		t.Fatalf("retrieval_cache_misses_total = %d, want 2", got)
+	}
+}

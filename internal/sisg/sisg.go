@@ -163,24 +163,52 @@ func (m *Model) QueryVector(query int32) []float32 {
 // query itself. This is the matching-stage primitive: "a candidate set of
 // similar items is obtained for each item that users have interacted with".
 func (m *Model) SimilarItems(query int32, k int) []knn.Result {
-	idx := m.ItemIndex()
-	qv := m.QueryVector(query)
-	skip := func(id int32) bool { return id == query }
-	if m.Variant.Directed {
-		return idx.Search(qv, k, skip)
+	return m.ItemIndex().Query(m.QueryVector(query), knn.Options{
+		K:         k,
+		Normalize: !m.Variant.Directed,
+		Skip:      func(id int32) bool { return id == query },
+	})
+}
+
+// SimilarItemsBatch is SimilarItems for many query items at once, returning
+// candidate sets in query order. It rides the engine's batched scan (each
+// shard's rows are streamed once per batch), requesting k+1 neighbours
+// with no skip and dropping each query's own id afterwards — which yields
+// results bit-identical to per-query SimilarItems calls.
+func (m *Model) SimilarItemsBatch(queries []int32, k int) [][]knn.Result {
+	qvs := make([][]float32, len(queries))
+	for i, q := range queries {
+		qvs[i] = m.QueryVector(q)
 	}
-	return idx.SearchNormalized(qv, k, skip)
+	batch := m.ItemIndex().QueryBatch(qvs, knn.Options{
+		K:         k + 1,
+		Normalize: !m.Variant.Directed,
+	})
+	for i, rs := range batch {
+		self := queries[i]
+		out := rs[:0:len(rs)]
+		for _, r := range rs {
+			if r.ID != self {
+				out = append(out, r)
+			}
+		}
+		if k < len(out) {
+			out = out[:k]
+		}
+		batch[i] = out
+	}
+	return batch
 }
 
 // SimilarToVector retrieves the top-k items for an arbitrary query vector
 // (used by both cold-start paths). Directed models still search output
 // vectors; symmetric models use cosine.
 func (m *Model) SimilarToVector(qv []float32, k int, skip func(int32) bool) []knn.Result {
-	idx := m.ItemIndex()
-	if m.Variant.Directed {
-		return idx.Search(qv, k, skip)
-	}
-	return idx.SearchNormalized(qv, k, skip)
+	return m.ItemIndex().Query(qv, knn.Options{
+		K:         k,
+		Normalize: !m.Variant.Directed,
+		Skip:      skip,
+	})
 }
 
 // ColdStartItemVector infers an embedding for a new item from its side
@@ -338,7 +366,7 @@ func (m *Model) RecommendForColdUser(types []int32, k int) ([]knn.Result, error)
 		if m.userIndex == nil {
 			m.userIndex = knn.NewIndex(m.Emb.In, m.Dict.NumItems, false)
 		}
-		return m.userIndex.Search(qv, k, nil), nil
+		return m.userIndex.Query(qv, knn.Options{K: k}), nil
 	}
-	return m.ItemIndex().SearchNormalized(qv, k, nil), nil
+	return m.ItemIndex().Query(qv, knn.Options{K: k, Normalize: true}), nil
 }

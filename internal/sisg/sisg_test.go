@@ -132,6 +132,34 @@ func TestSimilarItemsSane(t *testing.T) {
 	}
 }
 
+// The batched path (k+1 then drop-self) must be bit-identical to
+// per-query SimilarItems calls, under both scoring rules.
+func TestSimilarItemsBatchMatchesSingle(t *testing.T) {
+	for _, v := range []Variant{VariantSISGF, VariantSISGFUD} {
+		_, m := tinyModel(t, v)
+		queries := []int32{0, 3, 7, 7, 11}
+		batch := m.SimilarItemsBatch(queries, 8)
+		if len(batch) != len(queries) {
+			t.Fatalf("%s: %d result sets for %d queries", v.Name, len(batch), len(queries))
+		}
+		for i, q := range queries {
+			want := m.SimilarItems(q, 8)
+			got := batch[i]
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %d: %d results, want %d", v.Name, q, len(got), len(want))
+			}
+			for j := range got {
+				if got[j].ID != want[j].ID ||
+					math.Float32bits(got[j].Score) != math.Float32bits(want[j].Score) {
+					t.Fatalf("%s: query %d pos %d: got {%d %x} want {%d %x}", v.Name, q, j,
+						got[j].ID, math.Float32bits(got[j].Score),
+						want[j].ID, math.Float32bits(want[j].Score))
+				}
+			}
+		}
+	}
+}
+
 func TestColdStartItemVector(t *testing.T) {
 	ds, m := tinyModel(t, VariantSISGF)
 	si := ds.Dict.ItemSI[3]

@@ -1,0 +1,24 @@
+//go:build amd64 && gc && !purego
+
+package vecmath
+
+// The AVX kernel requires both the CPU flag and OS support for saving YMM
+// state (checked via XGETBV), probed once here; without them DotRows keeps
+// using the pure-Go reference.
+func init() {
+	if hasAVX() {
+		dotRowsAsm = dotRowsAVX
+	}
+}
+
+// hasAVX reports CPU + OS support for AVX (CPUID leaf 1 ECX bits 27/28,
+// then XCR0 bits 1..2). Implemented in dotrows_amd64.s.
+func hasAVX() bool
+
+// dotRowsAVX computes dst[r] = <rows[r*dim:(r+1)*dim], q> with the 16-lane
+// schedule on AVX 256-bit registers; bit-identical to DotRowsRef.
+// Requires len(rows) == len(dst)*len(q) and len(q) > 0 (enforced by the
+// DotRows wrapper). Implemented in dotrows_amd64.s.
+//
+//go:noescape
+func dotRowsAVX(dst, rows, q []float32)

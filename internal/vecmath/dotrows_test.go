@@ -1,0 +1,141 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sisg/internal/rng"
+)
+
+// fill populates a slice with values spread over several magnitudes so
+// that accumulation-order differences would actually change roundings —
+// uniform [0,1) data can mask schedule bugs because partial sums stay
+// well-conditioned.
+func fill(r *rng.RNG, x []float32) {
+	for i := range x {
+		x[i] = (r.Float32()*2 - 1) * float32(math.Pow(10, float64(r.Intn(7))-3))
+	}
+}
+
+// The SIMD kernel (when present) must be bit-identical to the pure-Go
+// reference on every shape: all dims crossing the 32/16-wide body and the
+// scalar tail, and row counts including 0 and 1.
+func TestDotRowsBitIdentical(t *testing.T) {
+	r := rng.New(11)
+	for _, dim := range []int{1, 2, 3, 4, 7, 8, 15, 16, 17, 31, 32, 33, 48, 63, 64, 65, 100, 128, 200} {
+		for _, n := range []int{0, 1, 2, 5, 17, 64} {
+			rows := make([]float32, n*dim)
+			q := make([]float32, dim)
+			fill(r, rows)
+			fill(r, q)
+			got := make([]float32, n)
+			want := make([]float32, n)
+			DotRows(got, rows, q)
+			DotRowsRef(want, rows, q)
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("dim=%d n=%d row=%d: DotRows %x != DotRowsRef %x",
+						dim, n, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// Property form of the same guarantee over random shapes and values.
+func TestDotRowsBitIdenticalProperty(t *testing.T) {
+	f := func(seed uint64, dimRaw, nRaw uint8) bool {
+		dim := int(dimRaw%150) + 1
+		n := int(nRaw % 50)
+		r := rng.New(seed)
+		rows := make([]float32, n*dim)
+		q := make([]float32, dim)
+		fill(r, rows)
+		fill(r, q)
+		got := make([]float32, n)
+		want := make([]float32, n)
+		DotRows(got, rows, q)
+		DotRowsRef(want, rows, q)
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The 16-lane schedule is a reordering of the plain dot product, so the
+// value must agree with Dot to within accumulation error (not bit-exactly
+// — that is precisely why the reference kernel exists).
+func TestDotRowsCloseToDot(t *testing.T) {
+	r := rng.New(12)
+	const dim, n = 67, 33
+	rows := make([]float32, n*dim)
+	q := make([]float32, dim)
+	for i := range rows {
+		rows[i] = r.Float32()*2 - 1
+	}
+	for i := range q {
+		q[i] = r.Float32()*2 - 1
+	}
+	dst := make([]float32, n)
+	DotRows(dst, rows, q)
+	for i := 0; i < n; i++ {
+		want := Dot(rows[i*dim:(i+1)*dim], q)
+		if diff := math.Abs(float64(dst[i] - want)); diff > 1e-4 {
+			t.Fatalf("row %d: DotRows %v vs Dot %v (diff %g)", i, dst[i], want, diff)
+		}
+	}
+}
+
+func TestDotRowsShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	DotRows(make([]float32, 3), make([]float32, 10), make([]float32, 4))
+}
+
+func BenchmarkDotRowsScan50k(b *testing.B) {
+	const rows, dim = 50000, 64
+	r := rng.New(13)
+	data := make([]float32, rows*dim)
+	q := make([]float32, dim)
+	for i := range data {
+		data[i] = r.Float32()
+	}
+	for i := range q {
+		q[i] = r.Float32()
+	}
+	dst := make([]float32, rows)
+	b.SetBytes(int64(rows * dim * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotRows(dst, data, q)
+	}
+}
+
+func BenchmarkDotRowsRefScan50k(b *testing.B) {
+	const rows, dim = 50000, 64
+	r := rng.New(13)
+	data := make([]float32, rows*dim)
+	q := make([]float32, dim)
+	for i := range data {
+		data[i] = r.Float32()
+	}
+	for i := range q {
+		q[i] = r.Float32()
+	}
+	dst := make([]float32, rows)
+	b.SetBytes(int64(rows * dim * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotRowsRef(dst, data, q)
+	}
+}
