@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"sisg/internal/corpus"
+	"sisg/internal/dist"
+	"sisg/internal/experiments"
+	"sisg/internal/sgns"
+	"sisg/internal/sisg"
+)
+
+// distBenchResult is one transport's row in BENCH_dist.json. Pairs/sec is
+// the number the trajectory tracks; the wire columns exist so a future
+// framing or batching change shows up as bytes-per-pair movement, not just
+// as unexplained throughput drift.
+type distBenchResult struct {
+	Transport   string  `json:"transport"`
+	Workers     int     `json:"workers"`
+	Sessions    int     `json:"sessions"`
+	Pairs       uint64  `json:"pairs"`
+	RemotePairs uint64  `json:"remote_pairs"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+	WireBytes   uint64  `json:"wire_bytes"`
+	WireFrames  uint64  `json:"wire_frames"`
+	Reconnects  uint64  `json:"reconnects"`
+}
+
+// runDistBench trains the same Tiny workload through both transports and
+// reports pairs/sec side by side: the in-process channel mesh is the
+// ceiling, TCP over loopback is the realistic floor, and the gap is the
+// serialization + syscall cost of a real wire. Both runs share one
+// generated corpus and partition, so the only variable is the transport.
+func runDistBench(w io.Writer, outPath string, workers, sessions int) error {
+	cfg, err := experiments.CorpusByName("tiny")
+	if err != nil {
+		return err
+	}
+	ds, err := corpus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	train := ds.Sessions
+	if sessions > 0 && sessions < len(train) {
+		train = train[:sessions]
+	}
+	v, err := sisg.VariantByName("SISG-F-U-D")
+	if err != nil {
+		return err
+	}
+	seqs := sisg.Enrich(ds.Dict, train, v)
+	part, _, err := dist.PartitionForDataset(ds, train, workers)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "distributed transport benchmark: %s, %d sessions, %d workers\n",
+		cfg.Name, len(train), workers)
+	var results []distBenchResult
+	for _, transport := range []string{dist.TransportChan, dist.TransportTCP} {
+		opt := dist.DefaultOptions(workers)
+		tropt := sgns.Defaults()
+		tropt.Epochs = 1
+		tropt.Seed = cfg.Seed
+		opt.Options = sisg.TrainOptions(tropt, v, tropt.Window)
+		opt.Workers = workers // TrainOptions replaced the embedded sgns.Options wholesale
+		opt.Transport = transport
+		// Hot replication would satisfy most cross-partition pairs locally;
+		// the point here is to price the wire, so every boundary pair pays
+		// a real remote call.
+		opt.HotReplication = false
+		_, st, err := dist.Train(ds.Dict.Dict, seqs, part, opt)
+		if err != nil {
+			return fmt.Errorf("%s run: %w", transport, err)
+		}
+		secs := st.Elapsed.Seconds()
+		res := distBenchResult{
+			Transport:   transport,
+			Workers:     workers,
+			Sessions:    len(train),
+			Pairs:       st.Pairs,
+			RemotePairs: st.RemotePairs,
+			ElapsedSec:  secs,
+			PairsPerSec: float64(st.Pairs) / secs,
+			WireBytes:   st.WireBytesSent,
+			WireFrames:  st.WireFrames,
+			Reconnects:  st.Reconnects,
+		}
+		results = append(results, res)
+		fmt.Fprintf(w, "%-6s %12.0f pairs/sec  (%d pairs, %.1f%% remote, %d wire bytes, %d frames)\n",
+			transport, res.PairsPerSec, st.Pairs, 100*st.RemoteFraction(), st.WireBytesSent, st.WireFrames)
+	}
+	if results[0].Pairs != results[1].Pairs || results[0].RemotePairs != results[1].RemotePairs {
+		return fmt.Errorf("transports disagree on work done: chan %d/%d pairs, tcp %d/%d",
+			results[0].Pairs, results[0].RemotePairs, results[1].Pairs, results[1].RemotePairs)
+	}
+	fmt.Fprintf(w, "tcp/chan throughput ratio: %.2fx; identical pair accounting across transports\n",
+		results[1].PairsPerSec/results[0].PairsPerSec)
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return nil
+}

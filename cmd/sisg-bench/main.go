@@ -10,6 +10,11 @@
 // engine (internal/knn) against the pre-engine serial scan and asserts
 // bit-identical results across shard counts; -retrieval-rows, -retrieval-dim,
 // -retrieval-queries and -retrieval-k size the workload.
+//
+// With -dist, it benchmarks the distributed trainer's transports — the
+// in-process channel mesh against real TCP over loopback — on one shared
+// workload, asserts the pair accounting agrees, and writes the trajectory
+// file named by -dist-out (default BENCH_dist.json).
 package main
 
 import (
@@ -31,9 +36,20 @@ func main() {
 		rDim      = flag.Int("retrieval-dim", 64, "retrieval bench: embedding dimensions")
 		rQueries  = flag.Int("retrieval-queries", 32, "retrieval bench: number of queries")
 		rK        = flag.Int("retrieval-k", 20, "retrieval bench: candidates per query")
+		distBench = flag.Bool("dist", false, "benchmark the distributed transports (chan vs tcp loopback) instead of running experiments")
+		dWorkers  = flag.Int("dist-workers", 4, "dist bench: worker count")
+		dSessions = flag.Int("dist-sessions", 600, "dist bench: training sessions (0 = whole Tiny corpus)")
+		dOut      = flag.String("dist-out", "BENCH_dist.json", "dist bench: JSON results path (empty = stdout only)")
 	)
 	flag.Parse()
 
+	if *distBench {
+		if err := runDistBench(os.Stdout, *dOut, *dWorkers, *dSessions); err != nil {
+			fmt.Fprintf(os.Stderr, "sisg-bench: dist: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *retrieval {
 		if err := runRetrieval(os.Stdout, *rRows, *rDim, *rQueries, *rK); err != nil {
 			fmt.Fprintf(os.Stderr, "sisg-bench: retrieval: %v\n", err)

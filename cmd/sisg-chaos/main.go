@@ -31,11 +31,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sisg-chaos: ")
 	var (
-		builtin = flag.Bool("builtin", true, "run the builtin scenario suite")
-		random  = flag.Int("random", 0, "additionally run N seeded random crash scenarios")
-		seed    = flag.Uint64("seed", 1, "base seed for -random scenarios (scenario i uses seed+i)")
-		match   = flag.String("run", "", "only run scenarios whose name contains this substring")
-		verbose = flag.Bool("v", false, "print per-scenario stats")
+		builtin   = flag.Bool("builtin", true, "run the builtin scenario suite")
+		random    = flag.Int("random", 0, "additionally run N seeded random crash scenarios")
+		seed      = flag.Uint64("seed", 1, "base seed for -random scenarios (scenario i uses seed+i)")
+		match     = flag.String("run", "", "only run scenarios whose name contains this substring")
+		transport = flag.String("transport", "", "override every scenario's transport: chan or tcp (empty = scenario default)")
+		verbose   = flag.Bool("v", false, "print per-scenario stats")
 	)
 	flag.Parse()
 
@@ -55,6 +56,9 @@ func main() {
 			continue
 		}
 		ran++
+		if *transport != "" {
+			sc.Transport = *transport
+		}
 		res, err := chaos.Run(sc)
 		if err != nil {
 			log.Fatalf("%s: %v", sc.Name, err)

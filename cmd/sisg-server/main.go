@@ -70,7 +70,18 @@ func main() {
 	if *pprofAddr != "" {
 		go func() {
 			log.Printf("pprof + metrics sidecar on http://%s/debug/pprof/ and /metrics", *pprofAddr)
-			log.Fatal(http.ListenAndServe(*pprofAddr, metrics.DebugMux(reg)))
+			// Same header deadline as the serving port below; the long
+			// write window is for pprof profile/trace streams, which hold
+			// the response open for their -seconds argument (30s default).
+			sidecar := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           metrics.DebugMux(reg),
+				ReadHeaderTimeout: 5 * time.Second,
+				ReadTimeout:       10 * time.Second,
+				WriteTimeout:      2 * time.Minute,
+				IdleTimeout:       2 * time.Minute,
+			}
+			log.Fatal(sidecar.ListenAndServe())
 		}()
 	}
 

@@ -73,6 +73,7 @@ func main() {
 		epochs     = flag.Int("epochs", 2, "training epochs")
 		lr         = flag.Float64("lr", 0.025, "initial learning rate")
 		workers    = flag.Int("workers", 0, "simulated distributed workers (0 = local Hogwild training)")
+		transport  = flag.String("transport", "chan", "distributed transport: chan (in-process) or tcp (loopback sockets); needs -workers")
 		w2vOut     = flag.String("w2v", "", "optionally also export input vectors in word2vec text format")
 		warmStart  = flag.String("warm-start", "", "warm-start from an existing model (daily incremental update)")
 		seed       = flag.Uint64("seed", 0, "override corpus seed (0 = config default)")
@@ -91,7 +92,18 @@ func main() {
 	if *pprofAddr != "" {
 		go func() {
 			log.Printf("pprof + metrics sidecar on http://%s/debug/pprof/ and /metrics", *pprofAddr)
-			log.Fatal(http.ListenAndServe(*pprofAddr, metrics.DebugMux(reg)))
+			// Same header deadline as the hardened serving port; the long
+			// write window is for pprof profile/trace streams, which hold
+			// the response open for their -seconds argument (30s default).
+			sidecar := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           metrics.DebugMux(reg),
+				ReadHeaderTimeout: 5 * time.Second,
+				ReadTimeout:       10 * time.Second,
+				WriteTimeout:      2 * time.Minute,
+				IdleTimeout:       2 * time.Minute,
+			}
+			log.Fatal(sidecar.ListenAndServe())
 		}()
 	}
 
@@ -166,7 +178,7 @@ func main() {
 		log.Printf("warm-started from %s: %d incremental pairs", *warmStart, st.Pairs)
 		model = &sisg.Model{Variant: v, Dict: ds.Dict, Emb: prev, Stats: st}
 	case *workers > 0:
-		log.Printf("distributed training: %d workers, HBGP + ATNS", *workers)
+		log.Printf("distributed training: %d workers, HBGP + ATNS, %s transport", *workers, *transport)
 		seqs := sisg.Enrich(ds.Dict, train, v)
 		part, _, err := dist.PartitionForDataset(ds, train, *workers)
 		if err != nil {
@@ -179,6 +191,7 @@ func main() {
 		dopt.Workers = *workers
 		dopt.Recovery = *recovery
 		dopt.MaxRestarts = *maxRestart
+		dopt.Transport = *transport
 		dopt.Metrics = reg // live train_* gauges on the -pprof-addr /metrics page
 		dmodel, st, err := dist.Train(ds.Dict.Dict, seqs, part, dopt)
 		if err != nil {

@@ -1,8 +1,10 @@
 // Package chaos is a deterministic chaos harness for the distributed
-// trainer: it composes seeded crash/stall/drop schedules into scenarios,
-// runs them against a synthetic corpus, and checks the self-healing
-// invariants after every run — pair accounting, zero loss under recovery,
-// finite embeddings, exact replay under one seed, and checkpoint/resume
+// trainer: it composes seeded crash/stall schedules and wire faults
+// (drops, delays, duplicates, severed connections, one-way partitions)
+// into scenarios, runs them against a synthetic corpus — over in-process
+// channels or real loopback TCP — and checks the self-healing invariants
+// after every run: pair accounting, zero loss under recovery, finite
+// embeddings, exact replay under one seed, and checkpoint/resume
 // equivalence when the run is killed mid-chaos.
 //
 // Determinism is the design center, not an afterthought: every fault in a
@@ -33,6 +35,11 @@ type Scenario struct {
 	Seed    uint64 // training seed; also salts the corpus
 	Workers int
 	Epochs  int // 0 = 1
+
+	// Transport selects the request mesh under test: "" or "chan" for the
+	// in-process channels, "tcp" for real loopback sockets. The invariant
+	// set is transport-independent; the tcp scenarios exist to prove it.
+	Transport string
 
 	// Failure schedule and the recovery policy under test.
 	Faults      dist.FaultPlan
@@ -247,6 +254,7 @@ func options(sc Scenario) dist.Options {
 	}
 	opt.HotTopK = 64
 	opt.Seed = sc.Seed
+	opt.Transport = sc.Transport
 	opt.Faults = sc.Faults
 	opt.Recovery = sc.Recovery
 	opt.MaxRestarts = sc.MaxRestarts
@@ -330,6 +338,51 @@ func Builtin() []Scenario {
 			}},
 			ExpectDead:  []int{1},
 			CheckResume: true,
+		},
+		// The TCP scenarios re-prove the PR 3 invariants with requests on
+		// real loopback sockets: crashes recover, severed connections heal
+		// by reconnect without tripping the heartbeat monitor, one-way
+		// partitions and slow links cost retries but never accounting, and
+		// a mid-chaos snapshot resumes exactly.
+		{
+			Name: "tcp-crash-recovery", Seed: 8, Workers: 4, Transport: "tcp",
+			Recovery: true,
+			Faults: dist.FaultPlan{Crashes: []dist.CrashSpec{
+				{Worker: 1, AtPairs: 3000},
+			}},
+			ExpectDead:       []int{1},
+			CheckDeterminism: true,
+			CheckResume:      true,
+		},
+		{
+			Name: "tcp-sever-reconnect", Seed: 9, Workers: 3, Transport: "tcp",
+			Recovery: true, Sessions: 300,
+			Faults: dist.FaultPlan{Wire: dist.WireFaults{Severs: []dist.SeverSpec{
+				{From: 0, To: 1, AtSends: 25},
+				{From: 2, To: 1, AtSends: 40},
+				{From: 1, To: 0, AtSends: 60},
+			}}},
+			// Reconnect must heal the links without a single death: an empty
+			// (non-nil) ExpectDead asserts exactly that.
+			ExpectDead:       []int{},
+			CheckDeterminism: true,
+		},
+		{
+			Name: "tcp-partition-slow-link-recovery", Seed: 10, Workers: 3, Transport: "tcp",
+			Recovery: true, Sessions: 300,
+			Faults: dist.FaultPlan{
+				DropFraction: 0.03,
+				Wire: dist.WireFaults{
+					DelayFraction: 0.05,
+					Delay:         3 * time.Millisecond,
+					Partitions: []dist.PartitionSpec{
+						{From: 0, To: 2, AtSends: 30, ForSends: 20},
+						{From: 2, To: 0, AtSends: 50, ForSends: 10},
+					},
+				},
+			},
+			ExpectDead:       []int{},
+			CheckDeterminism: true, // wire faults cost retries, never accounting, under recovery
 		},
 	}
 }

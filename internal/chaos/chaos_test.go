@@ -32,6 +32,43 @@ func TestBuiltinScenarios(t *testing.T) {
 	}
 }
 
+// TestNetworkChaosSmoke is the CI network-chaos job's entry point: the
+// TCP builtin scenarios — partition + slow link + drops, and severed
+// connections healed by reconnect — run over real loopback sockets under
+// -race. It is the wire-level counterpart of the -short acceptance run.
+func TestNetworkChaosSmoke(t *testing.T) {
+	ran := 0
+	for _, sc := range Builtin() {
+		if sc.Transport != "tcp" {
+			continue
+		}
+		if testing.Short() && sc.CheckResume {
+			// The resume check triples the training volume; the two wire-
+			// fault scenarios are the smoke's point.
+			continue
+		}
+		ran++
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if sc.Faults.Wire.Severs != nil && res.Stats.Reconnects == 0 {
+				t.Error("sever scenario recorded no reconnects")
+			}
+			if t.Failed() {
+				t.Logf("stats: %+v", res.Stats)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no tcp scenarios in the builtin suite")
+	}
+}
+
 // The acceptance scenario's specifics, asserted beyond the generic
 // invariants: both crashed partitions recovered and are on the ledger.
 func TestAcceptanceCrashTwoOfFour(t *testing.T) {

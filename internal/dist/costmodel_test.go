@@ -1,0 +1,40 @@
+package dist
+
+import "testing"
+
+// CostModel honesty: Stats.BytesSent models a remote call's payload as
+// vector + ids out, gradient back. The TCP transport measures what
+// actually crosses the wire — the same payload plus frame overhead
+// (length prefix, kind, request id: 26 bytes per round trip at any dim).
+// The model is honest if measured/modeled stays near 1 with only that
+// bounded framing overhead on top: at dim=32 the exact fault-free ratio
+// is 290/264 ≈ 1.10, and retries move both sides together. A model that
+// drifted from the wire (say a forgotten payload term) would leave this
+// band immediately.
+func TestCostModelBytesMatchTCPWire(t *testing.T) {
+	ds, seqs, part := tinySetup(t, 3)
+	opt := tinyOptions(3)
+	opt.Transport = TransportTCP
+	opt.HotReplication = false // hot syncs are modeled but never cross the wire
+	_, st, err := Train(ds.Dict.Dict, seqs, part, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemotePairs == 0 {
+		t.Fatal("scenario trained no remote pairs; nothing to validate")
+	}
+	if st.Degraded != 0 {
+		t.Fatalf("fault-free run degraded %d pairs", st.Degraded)
+	}
+	modeled := float64(st.BytesSent) / float64(st.RemotePairs)
+	measured := float64(st.WireBytesSent) / float64(st.RemotePairs)
+	dim := float64(opt.Dim)
+	if want := dim*4 + 8 + dim*4; modeled < want {
+		t.Fatalf("modeled %.1f B/remote pair below the minimum payload %.1f", modeled, want)
+	}
+	ratio := measured / modeled
+	if ratio < 1.0 || ratio > 1.35 {
+		t.Fatalf("measured %.1f B vs modeled %.1f B per remote pair (ratio %.3f, want [1.00, 1.35])",
+			measured, modeled, ratio)
+	}
+}

@@ -55,6 +55,13 @@ type Options struct {
 	// replica synchronizations.
 	SyncEvery int
 
+	// Transport selects how TNS requests move between workers: "chan"
+	// (default; the in-process channel mesh) or "tcp" (real loopback
+	// sockets, length-prefixed frames, reconnecting persistent
+	// connections). The training protocol, retry policy and accounting
+	// are transport-independent; see DESIGN.md §5h.
+	Transport string
+
 	// SlowWorker injects a per-remote-call delay on one worker (-1 = none):
 	// the straggler experiment.
 	SlowWorker      int
@@ -155,6 +162,64 @@ type FaultPlan struct {
 	// sugar and are merged into these schedules at startup.
 	Crashes []CrashSpec
 	Stalls  []StallSpec
+
+	// Wire injects network-shaped faults below the request level: delays,
+	// duplicates, severed connections and one-way partitions. Together
+	// with DropFraction these are applied by a transport decorator, so
+	// they work identically over channels and TCP (severs are a no-op on
+	// channels — there is no connection to cut).
+	Wire WireFaults
+}
+
+// WireFaults describes transport-level fault injection. Probabilistic
+// decisions draw from a per-requester RNG stream derived from
+// Options.Seed; positional triggers (severs, partitions) fire on exact
+// per-link send counts. Either way a scenario replays under its seed.
+type WireFaults struct {
+	// DelayFraction is the probability a request is held for Delay before
+	// it is forwarded — a slow link. The requester's deadline keeps
+	// running while the request is held.
+	DelayFraction float64
+	Delay         time.Duration
+	// DupFraction is the probability a request is delivered twice (a
+	// retransmit duplicate). The extra delivery's reply is discarded; the
+	// server simply serves one more request.
+	DupFraction float64
+	// Severs cut established connections: the From→To link is closed at
+	// From's AtSends-th request on it. The transport redials with
+	// jittered backoff — the scenario every reconnect test is built on.
+	Severs []SeverSpec
+	// Partitions blackhole requests one-way: From's requests to To are
+	// dropped for a window of send counts. Replies travel the opposite
+	// direction and are unaffected, which is what makes it one-way.
+	Partitions []PartitionSpec
+}
+
+// SeverSpec cuts the From→To connection at From's AtSends-th request on
+// that link (1-based).
+type SeverSpec struct {
+	From, To int
+	AtSends  uint64
+}
+
+// PartitionSpec drops From's requests to To starting at the AtSends-th
+// (1-based) for ForSends consecutive sends (0 means exactly one).
+type PartitionSpec struct {
+	From, To int
+	AtSends  uint64
+	ForSends uint64
+}
+
+// active reports whether any wire fault is configured.
+func (w WireFaults) active() bool {
+	return w.DelayFraction > 0 || w.DupFraction > 0 ||
+		len(w.Severs) > 0 || len(w.Partitions) > 0
+}
+
+// hasWireFaults reports whether the plan needs the fault-injecting
+// transport decorator.
+func (f FaultPlan) hasWireFaults() bool {
+	return f.DropFraction > 0 || f.Wire.active()
 }
 
 // CrashSpec kills one worker, possibly repeatedly: with Recovery on, a
@@ -206,6 +271,37 @@ func (f FaultPlan) Validate() error {
 		}
 		if s.For <= 0 {
 			return fmt.Errorf("dist: Stalls[%d].For must be positive", i)
+		}
+	}
+	if f.Wire.DelayFraction < 0 || f.Wire.DelayFraction >= 1 {
+		return fmt.Errorf("dist: Wire.DelayFraction %v out of [0,1)", f.Wire.DelayFraction)
+	}
+	if f.Wire.DelayFraction > 0 && f.Wire.Delay <= 0 {
+		return errors.New("dist: Wire.DelayFraction needs a positive Wire.Delay")
+	}
+	if f.Wire.DupFraction < 0 || f.Wire.DupFraction > 1 {
+		return fmt.Errorf("dist: Wire.DupFraction %v out of [0,1]", f.Wire.DupFraction)
+	}
+	for i, s := range f.Wire.Severs {
+		if s.From < 0 || s.To < 0 {
+			return fmt.Errorf("dist: Wire.Severs[%d] has a negative worker", i)
+		}
+		if s.From == s.To {
+			return fmt.Errorf("dist: Wire.Severs[%d] severs a worker from itself", i)
+		}
+		if s.AtSends == 0 {
+			return fmt.Errorf("dist: Wire.Severs[%d].AtSends must be >= 1", i)
+		}
+	}
+	for i, p := range f.Wire.Partitions {
+		if p.From < 0 || p.To < 0 {
+			return fmt.Errorf("dist: Wire.Partitions[%d] has a negative worker", i)
+		}
+		if p.From == p.To {
+			return fmt.Errorf("dist: Wire.Partitions[%d] partitions a worker from itself", i)
+		}
+		if p.AtSends == 0 {
+			return fmt.Errorf("dist: Wire.Partitions[%d].AtSends must be >= 1", i)
 		}
 	}
 	return nil
@@ -379,6 +475,18 @@ type Stats struct {
 	HotTokens   int           // |Q|
 	// PairsPerWorker exposes the load balance achieved.
 	PairsPerWorker []uint64
+
+	// Wire accounting, from the transport. For "chan" everything but
+	// WireFrames is zero (nothing is serialized); for "tcp" these are
+	// bytes and frames actually written to / read from loopback sockets,
+	// length prefixes included, both directions of every link. Like
+	// Retries, they are timing-shaped observability figures, not part of
+	// the deterministic replay contract (a retried request is re-sent on
+	// the wire but counted once by BytesSent's model).
+	WireBytesSent uint64
+	WireBytesRecv uint64
+	WireFrames    uint64 // frames written (requests + replies)
+	Reconnects    uint64 // severed links that were redialed successfully
 
 	// Fault-tolerance accounting: degradation is observable, never silent.
 	// The invariant Pairs == LocalPairs + RemotePairs + Degraded always

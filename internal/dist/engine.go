@@ -72,7 +72,11 @@ type engine struct {
 	keep        []float32
 	totalTokens uint64 // corpus tokens × epochs (per worker scan)
 
-	reqCh      []chan *tnsReq
+	// tr moves TNS requests between workers: the in-process channel mesh
+	// by default, real loopback TCP when Options.Transport says so, either
+	// one wrapped in the fault decorator when the plan injects wire
+	// faults. See transport.go.
+	tr         Transport
 	scanDone   chan struct{} // one message per worker when its scan role ends
 	scanTokens atomic.Uint64
 
@@ -176,10 +180,6 @@ func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Opti
 		e.hotOut[i] = append([]float32(nil), e.model.Out.Row(id)...)
 	}
 
-	e.reqCh = make([]chan *tnsReq, w)
-	for i := range e.reqCh {
-		e.reqCh[i] = make(chan *tnsReq, 256)
-	}
 	e.scanDone = make(chan struct{}, w)
 	e.heartbeat = make([]atomic.Uint64, w)
 	e.state = make([]atomic.Int32, w)
@@ -297,6 +297,13 @@ func newEngine(dict *vocab.Dict, seqs [][]int32, part *graph.Partition, opt Opti
 		}
 		e.lastCkptPairs = e.totalPairs()
 	}
+	// Last, so no earlier validation failure can leak its listeners: the
+	// transport is the only engine resource that must be torn down.
+	tr, err := newTransport(&e.opt)
+	if err != nil {
+		return nil, err
+	}
+	e.tr = tr
 	return e, nil
 }
 
@@ -391,9 +398,10 @@ func subsampleKeep(dict *vocab.Dict, counts []uint64, total uint64, t, siBoost f
 }
 
 // run starts the workers and the health monitor, orchestrates checkpoint
-// barriers, shuts the request mesh down by closing the per-worker request
-// channels once every worker has finished (or crashed out of) its scan,
-// merges hot replicas back into the model, and aggregates statistics.
+// barriers, shuts the request mesh down through the transport (end of
+// serve phase, then full teardown) once every worker has finished (or
+// crashed out of) its scan, merges hot replicas back into the model, and
+// aggregates statistics.
 func (e *engine) run() (*emb.Model, Stats, error) {
 	start := time.Now()
 	stopObservers := e.startObservers()
@@ -415,19 +423,21 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 	// Recovery only the incarnation that completes all epochs signals (a
 	// crashed one exits silently and its replacement carries the role).
 	// Remote calls only happen while scanning, so after the W-th signal
-	// nothing new can be sent and closing the request channels is safe;
-	// surviving workers drain what is queued and exit on channel close —
-	// no polling, no sleeps.
+	// nothing new can be sent and ending the serve phase is safe;
+	// surviving workers drain what is queued and exit when the
+	// transport's done channel closes — no polling, no sleeps. Full
+	// transport teardown (connections, listeners) waits until every
+	// worker goroutine has exited, because late TCP deliveries may still
+	// be in flight toward the inboxes.
 	for n := 0; n < e.opt.Workers; n++ {
 		<-e.scanDone
 	}
 	e.spawnMu.Lock()
 	e.draining = true // any recover() still in flight becomes a no-op
 	e.spawnMu.Unlock()
-	for i := range e.reqCh {
-		close(e.reqCh[i])
-	}
+	e.tr.CloseInboxes()
 	e.wwg.Wait()
+	_ = e.tr.Close() //lint:allow errsink teardown of an already-drained transport
 	close(e.stopMon)
 	e.monWG.Wait()
 	e.supWG.Wait()
@@ -475,6 +485,11 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 	if st.Takeovers > 0 {
 		st.Hosts = append([]int32(nil), e.host...)
 	}
+	ts := e.tr.Stats()
+	st.WireBytesSent = ts.BytesSent
+	st.WireBytesRecv = ts.BytesReceived
+	st.WireFrames = ts.FramesSent
+	st.Reconnects = ts.Reconnects
 	st.SimElapsed = e.simElapsed()
 	return e.model, st, e.ckptErr
 }

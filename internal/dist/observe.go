@@ -76,6 +76,13 @@ func (e *engine) registerMetrics(reg *metrics.Registry) {
 		{"train_tokens", "corpus tokens scanned so far, summed over workers", func() float64 { return float64(e.scanTokens.Load()) }},
 		{"train_lr", "current decayed learning rate", func() float64 { return float64(e.liveLR()) }},
 		{"train_workers", "configured worker count", func() float64 { return float64(e.opt.Workers) }},
+		{"net_wire_bytes_sent", "bytes written to the transport wire (length prefixes included; 0 on chan)", func() float64 { return float64(e.tr.Stats().BytesSent) }},
+		{"net_wire_bytes_received", "bytes read from the transport wire", func() float64 { return float64(e.tr.Stats().BytesReceived) }},
+		{"net_frames_sent", "frames written to the wire (requests + replies)", func() float64 { return float64(e.tr.Stats().FramesSent) }},
+		{"net_frames_received", "frames read from the wire", func() float64 { return float64(e.tr.Stats().FramesReceived) }},
+		{"net_dials", "successful transport connection establishments", func() float64 { return float64(e.tr.Stats().Dials) }},
+		{"net_reconnects", "severed links redialed successfully", func() float64 { return float64(e.tr.Stats().Reconnects) }},
+		{"net_late_replies", "replies that arrived after their request was abandoned", func() float64 { return float64(e.tr.Stats().LateReplies) }},
 	}
 	for _, g := range gauges {
 		//lint:allow metricname every name comes from the static literal table above; cardinality is fixed

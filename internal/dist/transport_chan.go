@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// chanTransport is the original in-process mesh: one buffered channel per
+// worker, requests delivered by channel send. It exists both as the fast
+// default for single-process runs and as the reference implementation the
+// TCP transport is property-tested against.
+type chanTransport struct {
+	inboxes []chan *tnsReq
+	done    chan struct{}
+	frames  atomic.Uint64
+}
+
+func newChanTransport(workers int) *chanTransport {
+	t := &chanTransport{
+		inboxes: make([]chan *tnsReq, workers),
+		done:    make(chan struct{}),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan *tnsReq, 256)
+	}
+	return t
+}
+
+func (t *chanTransport) Inbox(id int32) <-chan *tnsReq { return t.inboxes[id] }
+func (t *chanTransport) Done() <-chan struct{}         { return t.done }
+
+// Call preserves the exact two-phase select of the pre-Transport
+// remoteCall: block on delivering to dst's queue (serving our own all the
+// while), then block on the reply. The request carries a private copy of
+// vec and a 1-buffered reply channel, so a server answering after we
+// abandoned the attempt never blocks and never reads a row the requester
+// has since mutated.
+func (t *chanTransport) Call(src, dst int32, vec []float32, ctx int32, lr float32,
+	timeout time.Duration, abort <-chan struct{}, serve func(*tnsReq)) ([]float32, bool) {
+	req := &tnsReq{
+		vec:   append([]float32(nil), vec...),
+		ctx:   ctx,
+		lr:    lr,
+		reply: make(chan []float32, 1),
+	}
+	own := t.inboxes[src]
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	sent := false
+	for !sent {
+		select {
+		case t.inboxes[dst] <- req:
+			sent = true
+		case in := <-own:
+			serve(in)
+		case <-abort:
+			return nil, false
+		case <-timer.C:
+			return nil, false
+		}
+	}
+	t.frames.Add(1)
+	for {
+		select {
+		case grad := <-req.reply:
+			return grad, true
+		case in := <-own:
+			serve(in)
+		case <-abort:
+			return nil, false
+		case <-timer.C:
+			return nil, false
+		}
+	}
+}
+
+func (t *chanTransport) SendOneWay(src, dst int32, vec []float32, ctx int32, lr float32) {
+	req := &tnsReq{
+		vec:   append([]float32(nil), vec...),
+		ctx:   ctx,
+		lr:    lr,
+		reply: make(chan []float32, 1),
+	}
+	select {
+	case t.inboxes[dst] <- req:
+		t.frames.Add(1)
+	default:
+		// Best-effort by contract: a full peer queue swallows the duplicate.
+	}
+}
+
+func (t *chanTransport) CloseInboxes() { close(t.done) }
+func (t *chanTransport) Close() error  { return nil }
+
+func (t *chanTransport) Stats() TransportStats {
+	return TransportStats{FramesSent: t.frames.Load(), FramesReceived: t.frames.Load()}
+}

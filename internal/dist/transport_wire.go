@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format of the TCP transport. Every frame is length-prefixed:
+//
+//	uint32  payload length (little-endian, excludes the prefix itself)
+//	payload:
+//	  byte    kind (1 = request, 2 = reply)
+//	  uint64  request id (unique per (src,dst) link)
+//	  request:  int32 ctx | float32 lr | float32 vec[dim]
+//	  reply:    float32 grad[dim]
+//
+// Everything is little-endian and float32 bits are shipped verbatim, so a
+// vector survives the round trip bit-for-bit — the property the
+// chan-vs-tcp equivalence tests lean on.
+const (
+	frameReq  = 1
+	frameResp = 2
+
+	// reqHeaderLen is kind + id + ctx + lr; respHeaderLen is kind + id.
+	reqHeaderLen  = 1 + 8 + 4 + 4
+	respHeaderLen = 1 + 8
+
+	// maxFramePayload bounds a single payload; anything larger means a
+	// desynchronized or hostile stream and kills the connection.
+	maxFramePayload = 16 << 20
+)
+
+// encodeReq serializes one TNS request into a self-contained frame
+// (prefix included) ready for a single Write.
+func encodeReq(id uint64, vec []float32, ctx int32, lr float32) []byte {
+	n := reqHeaderLen + 4*len(vec)
+	b := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(b, uint32(n))
+	b[4] = frameReq
+	binary.LittleEndian.PutUint64(b[5:], id)
+	binary.LittleEndian.PutUint32(b[13:], uint32(ctx))
+	binary.LittleEndian.PutUint32(b[17:], math.Float32bits(lr))
+	off := 4 + reqHeaderLen
+	for _, v := range vec {
+		binary.LittleEndian.PutUint32(b[off:], math.Float32bits(v))
+		off += 4
+	}
+	return b
+}
+
+func decodeReq(p []byte) (id uint64, vec []float32, ctx int32, lr float32, err error) {
+	if len(p) < reqHeaderLen || (len(p)-reqHeaderLen)%4 != 0 {
+		return 0, nil, 0, 0, fmt.Errorf("dist: malformed request frame (%d bytes)", len(p))
+	}
+	id = binary.LittleEndian.Uint64(p[1:])
+	ctx = int32(binary.LittleEndian.Uint32(p[9:]))
+	lr = math.Float32frombits(binary.LittleEndian.Uint32(p[13:]))
+	body := p[reqHeaderLen:]
+	vec = make([]float32, len(body)/4)
+	for i := range vec {
+		vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return id, vec, ctx, lr, nil
+}
+
+// encodeResp serializes one gradient reply (prefix included).
+func encodeResp(id uint64, grad []float32) []byte {
+	n := respHeaderLen + 4*len(grad)
+	b := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(b, uint32(n))
+	b[4] = frameResp
+	binary.LittleEndian.PutUint64(b[5:], id)
+	off := 4 + respHeaderLen
+	for _, v := range grad {
+		binary.LittleEndian.PutUint32(b[off:], math.Float32bits(v))
+		off += 4
+	}
+	return b
+}
+
+func decodeResp(p []byte) (id uint64, grad []float32, err error) {
+	if len(p) < respHeaderLen || (len(p)-respHeaderLen)%4 != 0 {
+		return 0, nil, fmt.Errorf("dist: malformed reply frame (%d bytes)", len(p))
+	}
+	id = binary.LittleEndian.Uint64(p[1:])
+	body := p[respHeaderLen:]
+	grad = make([]float32, len(body)/4)
+	for i := range grad {
+		grad[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return id, grad, nil
+}

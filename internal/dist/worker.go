@@ -44,8 +44,10 @@ type worker struct {
 	srng *rng.RNG
 
 	// Fault machinery. frng is a dedicated RNG for fault decisions
-	// (request drops, retry jitter, degraded-pair negatives) so injecting
-	// faults never perturbs the training stream in r. Crash and stall
+	// (retry jitter, degraded-pair negatives; wire-level faults such as
+	// request drops draw from the fault transport's own per-requester
+	// streams) so injecting faults never perturbs the training stream in
+	// r. Crash and stall
 	// triggers fire on the worker's own pair counter — deterministic
 	// regardless of goroutine scheduling. crashSpec is this partition's
 	// merged crash schedule; crashArmAt is the armed absolute pair count
@@ -232,9 +234,9 @@ func (w *worker) reinit(adopted bool) {
 
 // run scans the corpus for opt.Epochs (in blocks, with a barrier after
 // each, when checkpointing is on), then serves peers until the engine
-// closes this worker's request channel. The engine closes the channels
-// only after every partition has signalled scanDone, and remote calls
-// happen only while scanning, so no send can race the close.
+// ends the transport's serve phase. The engine does that only after every
+// partition has signalled scanDone, and remote calls happen only while
+// scanning, so nothing new can arrive after the final drain.
 //
 // Crash semantics differ by mode. Without Recovery a crashed worker keeps
 // attending checkpoint barriers (the barrier arithmetic needs exactly W
@@ -301,8 +303,25 @@ scan:
 	e.hotSync(w)
 	e.state[w.id].Store(stateDone)
 	e.scanDone <- struct{}{}
-	for req := range e.reqCh[w.id] {
-		w.serve(req)
+	// Serve peers until the engine ends the serve phase, then drain what
+	// is already queued. Inboxes are never closed (a late TCP delivery
+	// must not panic); Done is the end-of-service signal.
+	inbox := e.tr.Inbox(w.id)
+	done := e.tr.Done()
+	for {
+		select {
+		case req := <-inbox:
+			w.serve(req)
+		case <-done:
+			for {
+				select {
+				case req := <-inbox:
+					w.serve(req)
+				default:
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -327,10 +346,11 @@ func (w *worker) blockBarrier(k int) {
 	e.hotSync(w)
 	e.state[w.id].Store(stateWaiting)
 	bar.arrive <- struct{}{}
+	inbox := e.tr.Inbox(w.id)
 serving:
 	for {
 		select {
-		case req := <-e.reqCh[w.id]:
+		case req := <-inbox:
 			w.serve(req)
 		case <-bar.quiesce:
 			break serving
@@ -592,17 +612,22 @@ func (w *worker) degradePair(vin []float32, ctx int32) {
 }
 
 // remoteCall ships in(v_i) to the owner of v_j and waits for the gradient,
-// serving incoming requests while blocked (deadlock freedom). Each attempt
-// is bounded by RemoteTimeout; retries wait out a jittered exponential
-// backoff (serving all the while). Without recovery: after 1+RemoteRetries
-// attempts, or as soon as the destination is declared dead, it gives up
-// and the caller degrades. With recovery: a dead owner is guaranteed to
-// come back (resurrection or takeover), so death is not an abort signal
-// and the attempt budget is unbounded — the only way out besides success
-// is this incarnation itself being fenced. Every attempt uses a fresh
-// request (fresh buffered reply channel), so a late server answer to an
-// abandoned attempt never blocks the server and never corrupts a newer
-// attempt.
+// serving incoming requests while blocked (deadlock freedom; the transport
+// calls back into w.serve). Each attempt is one Transport.Call bounded by
+// RemoteTimeout; retries wait out a jittered exponential backoff (serving
+// all the while). Without recovery: after 1+RemoteRetries attempts, or as
+// soon as the destination is declared dead, it gives up and the caller
+// degrades. With recovery: a dead owner is guaranteed to come back
+// (resurrection or takeover), so death is not an abort signal and the
+// attempt budget is unbounded — the only way out besides success is this
+// incarnation itself being fenced. Transports use a fresh request (or
+// request id) per attempt, so a late server answer to an abandoned
+// attempt never blocks the server and never corrupts a newer attempt.
+//
+// BytesSent stays the MODEL's payload accounting — vector + ids per
+// attempted request, gradient per success — independent of what any
+// transport serializes; Stats.WireBytesSent carries the measured figure,
+// and the CostModel honesty test keeps the two within tolerance.
 func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, bool) {
 	e := w.e
 	recovery := w.opt.Recovery
@@ -629,65 +654,14 @@ func (w *worker) remoteCall(dst int32, vin []float32, ctx int32) ([]float32, boo
 		} else if e.isDead(dst) {
 			return nil, false
 		}
-		// Fault injection: the request is lost on the wire. The requester
-		// cannot tell — it just never hears back and waits out the
-		// deadline (still serving its own queue, still paying the send
-		// bytes).
-		dropped := w.opt.Faults.DropFraction > 0 && w.frng.Float64() < w.opt.Faults.DropFraction
-		req := &tnsReq{
-			vec:   append([]float32(nil), vin...),
-			ctx:   ctx,
-			lr:    w.lr,
-			reply: make(chan []float32, 1),
+		w.bytesSent.Add(uint64(len(vin))*4 + 8)
+		grad, ok := e.tr.Call(w.id, dst, vin, ctx, w.lr, timeout, deadc, w.serve)
+		if ok {
+			w.bytesSent.Add(uint64(len(grad)) * 4)
+			return grad, true
 		}
-		timer := time.NewTimer(timeout)
-		expired := false
-		if dropped {
-			w.bytesSent.Add(uint64(len(vin))*4 + 8)
-			for !expired {
-				select {
-				case in := <-e.reqCh[w.id]:
-					w.serve(in)
-				case <-deadc:
-					timer.Stop()
-					return nil, false
-				case <-timer.C:
-					expired = true
-				}
-			}
-		} else {
-			sent := false
-			for !sent && !expired {
-				select {
-				case e.reqCh[dst] <- req:
-					sent = true
-				case in := <-e.reqCh[w.id]:
-					w.serve(in)
-				case <-deadc:
-					timer.Stop()
-					return nil, false
-				case <-timer.C:
-					expired = true
-				}
-			}
-			if sent {
-				w.bytesSent.Add(uint64(len(vin))*4 + 8)
-				for !expired {
-					select {
-					case grad := <-req.reply:
-						timer.Stop()
-						w.bytesSent.Add(uint64(len(grad)) * 4)
-						return grad, true
-					case in := <-e.reqCh[w.id]:
-						w.serve(in)
-					case <-deadc:
-						timer.Stop()
-						return nil, false
-					case <-timer.C:
-						expired = true
-					}
-				}
-			}
+		if !recovery && e.isDead(dst) {
+			return nil, false // deadc fired mid-call: give up immediately
 		}
 		// Deadline fired: the worker is alive and deciding, which counts
 		// as liveness for the watchdog.
@@ -719,12 +693,13 @@ func (w *worker) backoffWait(a int) bool {
 	// never gets THIS worker declared dead too.
 	beat := time.NewTicker(w.opt.heartbeatEvery())
 	defer beat.Stop()
+	inbox := w.e.tr.Inbox(w.id)
 	for {
 		if recovery && w.fenced.Load() {
 			return false
 		}
 		select {
-		case in := <-w.e.reqCh[w.id]:
+		case in := <-inbox:
 			w.serve(in)
 		case <-beat.C:
 			w.e.heartbeat[w.id].Add(1)
@@ -745,15 +720,13 @@ func (w *worker) serve(req *tnsReq) {
 	req.reply <- append([]float32(nil), grad...)
 }
 
-// maybeServe opportunistically drains the request queue between sequences
-// so a worker that finished its share early still serves peers promptly.
+// maybeServe opportunistically drains the inbox between sequences so a
+// worker that finished its share early still serves peers promptly.
 func (w *worker) maybeServe() {
+	inbox := w.e.tr.Inbox(w.id)
 	for {
 		select {
-		case req, ok := <-w.e.reqCh[w.id]:
-			if !ok {
-				return
-			}
+		case req := <-inbox:
 			w.serve(req)
 		default:
 			return

@@ -37,12 +37,17 @@ func TestMetricNameGolden(t *testing.T) {
 	runGolden(t, "metricname", "example.com/app", MetricName())
 }
 
+func TestNetDeadlineGolden(t *testing.T) {
+	runGolden(t, "netdeadline", "example.com/dist", NetDeadline())
+}
+
 // Path-scoped analyzers must stay silent outside their scope: the same
 // fixtures, reloaded under a neutral module path, yield nothing.
 func TestScopedAnalyzersIgnoreOtherPackages(t *testing.T) {
 	for fixture, a := range map[string]*Analyzer{
-		"maporder": MapOrder(),
-		"errsink":  ErrSink(),
+		"maporder":    MapOrder(),
+		"errsink":     ErrSink(),
+		"netdeadline": NetDeadline(),
 	} {
 		mod := loadFixture(t, fixture, "example.com/unrelated")
 		if diags := mod.Lint(a); len(diags) != 0 {

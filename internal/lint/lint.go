@@ -14,6 +14,9 @@
 //     checkpoint, seqio, server and cmd paths.
 //   - metricname: metric registrations whose name argument is not a
 //     compile-time constant (unbounded label cardinality).
+//   - netdeadline: net.Conn reads/writes in transport (dist) code with no
+//     preceding Set*Deadline on the same connection — the undeadlined read
+//     that hangs a goroutine forever under a one-way partition.
 //
 // A diagnostic can be suppressed with a comment:
 //
@@ -64,6 +67,7 @@ func Analyzers() []*Analyzer {
 		AtomicMix(),
 		ErrSink(),
 		MetricName(),
+		NetDeadline(),
 	}
 }
 

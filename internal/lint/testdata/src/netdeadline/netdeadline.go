@@ -1,0 +1,96 @@
+// Fixture for the netdeadline analyzer (scoped to dist packages; the
+// golden test loads this tree as module "example.com/dist").
+package dist
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+func readNoDeadline(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) // want "net.Conn Read with no preceding SetReadDeadline"
+}
+
+func writeNoDeadline(c net.Conn, buf []byte) (int, error) {
+	return c.Write(buf) // want "net.Conn Write with no preceding SetWriteDeadline"
+}
+
+func readGuarded(c net.Conn, buf []byte) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return c.Read(buf)
+}
+
+// SetDeadline covers both directions.
+func fullDeadlineGuardsWrite(c net.Conn, buf []byte) (int, error) {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return c.Write(buf)
+}
+
+func readFullNoDeadline(c net.Conn) ([]byte, error) {
+	buf := make([]byte, 4)
+	_, err := io.ReadFull(c, buf) // want "io.ReadFull reads a net.Conn with no preceding SetReadDeadline"
+	return buf, err
+}
+
+// Concrete conn types count too, and a guarded io.ReadFull is clean.
+func readFullGuarded(c *net.TCPConn) ([]byte, error) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4)
+	_, err := io.ReadFull(c, buf)
+	return buf, err
+}
+
+// io.Copy writes its first argument and reads its second: the guarded dst
+// is clean, the unguarded src is not.
+func copyMixed(dst, src net.Conn) (int64, error) {
+	if err := dst.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return io.Copy(dst, src) // want "io.Copy reads a net.Conn with no preceding SetReadDeadline"
+}
+
+// A write deadline does not license a read.
+func wrongDirection(c net.Conn, buf []byte) (int, error) {
+	if err := c.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return c.Read(buf) // want "net.Conn Read with no preceding SetReadDeadline"
+}
+
+// A deadline set after the read arms the NEXT read, not this one.
+func deadlineTooLate(c net.Conn, buf []byte) (int, error) {
+	n, err := c.Read(buf) // want "net.Conn Read with no preceding SetReadDeadline"
+	if derr := c.SetReadDeadline(time.Now().Add(time.Second)); derr != nil {
+		return n, derr
+	}
+	return n, err
+}
+
+// Guards are per-object: a's deadline says nothing about b.
+func twoConns(a, b net.Conn, buf []byte) {
+	if err := a.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return
+	}
+	_, _ = a.Read(buf)
+	_, _ = b.Read(buf) // want "net.Conn Read with no preceding SetReadDeadline"
+}
+
+// Not a conn: ordinary readers are none of this analyzer's business.
+type memReader struct{}
+
+func (memReader) Read(p []byte) (int, error) { return 0, nil }
+
+func plainRead(r memReader, buf []byte) (int, error) {
+	return r.Read(buf)
+}
+
+func allowedRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) //lint:allow netdeadline demo: the caller owns the deadline on this conn
+}
