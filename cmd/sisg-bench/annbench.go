@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sisg/internal/emb"
+	"sisg/internal/knn"
+	"sisg/internal/rng"
+)
+
+// runANN is the recall@K-vs-brute-force harness for the IVF index: it
+// builds a clustered corpus (a mixture of Gaussians — embedding tables
+// have cluster structure; uniform noise would be adversarial for any
+// partition-based ANN index and representative of nothing), takes the
+// flat scan as ground truth, sweeps NProbe with quantization off and on,
+// and reports recall@{1,10} and batched queries/sec for every setting.
+//
+// Two assertions make this a harness rather than a printout: some swept
+// setting must reach recall@10 >= floor at >= minSpeedup x the flat
+// scan's throughput, and IVF at exhaustive probe must be bit-identical
+// to the flat scan (the degenerate case that anchors the whole curve).
+func runANN(w io.Writer, outPath string, rows, dim, nq, k int, floor, minSpeedup float64) error {
+	const centers = 100
+	r := rng.New(42)
+	mu := make([][]float32, centers)
+	for c := range mu {
+		mu[c] = make([]float32, dim)
+		for d := range mu[c] {
+			mu[c][d] = float32(r.NormFloat64())
+		}
+	}
+	m := emb.NewMatrix(rows, dim)
+	for i := 0; i < rows; i++ {
+		row := m.Row(int32(i))
+		center := mu[r.Intn(centers)]
+		for d := range row {
+			row[d] = center[d] + float32(r.NormFloat64())*0.15
+		}
+	}
+	// Queries perturb real rows: the regime retrieval actually serves
+	// (an item's vector querying for its neighbours).
+	queries := make([][]float32, nq)
+	for i := range queries {
+		src := m.Row(int32(r.Intn(rows)))
+		queries[i] = make([]float32, dim)
+		for d := range queries[i] {
+			queries[i][d] = src[d] + float32(r.NormFloat64())*0.02
+		}
+	}
+
+	ix := knn.NewIndex(m, 0, false)
+	nlist := ix.IVFClusters()
+	fmt.Fprintf(w, "ann recall benchmark: %d rows x %d dims, %d queries, k=%d, %d clusters\n",
+		rows, dim, nq, k, nlist)
+
+	// Ground truth and evaluation depth: recall@{1,10} needs at least 10
+	// true neighbours per query regardless of the serving k.
+	kk := k
+	if kk < 10 {
+		kk = 10
+	}
+	truth := ix.QueryBatch(queries, knn.Options{K: kk})
+
+	// Throughput is measured batched for both paths — flat coalesces
+	// tiles across queries, IVF fans queries across cores — so the
+	// speedup column compares saturated engine against saturated engine,
+	// not a parallel scan against one goroutine.
+	measure := func(opts knn.Options) ([][]knn.Result, float64) {
+		out := ix.QueryBatch(queries, opts) // warm (builds IVF on first use)
+		var reps int
+		start := time.Now()
+		for reps = 0; ; reps++ {
+			if s := time.Since(start).Seconds(); s >= 0.3 && reps >= 1 {
+				return out, float64(reps*nq) / s
+			}
+			ix.QueryBatch(queries, opts)
+		}
+	}
+
+	_, flatQPS := measure(knn.Options{K: kk})
+	fmt.Fprintf(w, "%-26s %10.1f queries/sec  (1.00x)  recall@1 1.000  recall@10 1.000\n",
+		"flat exact scan", flatQPS)
+	results := []benchRow{{
+		Bench: "ann", Strategy: "flat", Rows: rows, Dim: dim, Queries: nq, K: kk,
+		QueriesPerSec: flatQPS, Speedup: 1, RecallAt1: 1, RecallAt10: 1,
+	}}
+
+	// The exhaustive-probe anchor: bit-identical to flat, by construction.
+	exhaustive := ix.QueryBatch(queries, knn.Options{K: kk, Index: knn.IndexIVF, NProbe: nlist})
+	if err := sameResultSets(truth, exhaustive); err != nil {
+		return fmt.Errorf("IVF at exhaustive probe diverged from flat scan: %v", err)
+	}
+	fmt.Fprintf(w, "IVF nprobe=%d (exhaustive): bit-identical to flat scan: OK\n", nlist)
+
+	pass := false
+	for _, quantized := range []bool{false, true} {
+		for nprobe := 1; nprobe < nlist; nprobe *= 2 {
+			opts := knn.Options{K: kk, Index: knn.IndexIVF, NProbe: nprobe, Quantized: quantized}
+			got, qps := measure(opts)
+			r1 := recallAt(truth, got, 1)
+			r10 := recallAt(truth, got, 10)
+			speedup := qps / flatQPS
+			label := fmt.Sprintf("ivf nprobe=%d", nprobe)
+			if quantized {
+				label += " int8"
+			}
+			fmt.Fprintf(w, "%-26s %10.1f queries/sec  (%.2fx)  recall@1 %.3f  recall@10 %.3f\n",
+				label, qps, speedup, r1, r10)
+			results = append(results, benchRow{
+				Bench: "ann", Strategy: label, Rows: rows, Dim: dim, Queries: nq, K: kk,
+				QueriesPerSec: qps, Speedup: speedup,
+				Clusters: nlist, NProbe: nprobe, Quantized: quantized,
+				RecallAt1: r1, RecallAt10: r10,
+			})
+			if r10 >= floor && speedup >= minSpeedup {
+				pass = true
+			}
+		}
+	}
+	if !pass {
+		return fmt.Errorf("no swept setting reached recall@10 >= %.2f at >= %.1fx flat throughput", floor, minSpeedup)
+	}
+	fmt.Fprintf(w, "recall floor: some setting reaches recall@10 >= %.2f at >= %.1fx flat: OK\n", floor, minSpeedup)
+
+	if outPath != "" {
+		if err := updateBenchFile(outPath, "ann", results); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// recallAt is the standard set recall: |top-n(approx) ∩ top-n(exact)| / n,
+// averaged over queries (truncated to the available depth).
+func recallAt(truth, got [][]knn.Result, n int) float64 {
+	var hit, total int
+	for qi := range truth {
+		t, g := truth[qi], got[qi]
+		if len(t) > n {
+			t = t[:n]
+		}
+		if len(g) > n {
+			g = g[:n]
+		}
+		in := make(map[int32]bool, len(t))
+		for _, res := range t {
+			in[res.ID] = true
+		}
+		total += len(t)
+		for _, res := range g {
+			if in[res.ID] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchRow is one row of BENCH_retrieval.json — the serving-path analogue
+// of BENCH_dist.json. The file is a flat JSON array holding two sections
+// distinguished by Bench: "retrieval" (exact-scan engine trajectory) and
+// "ann" (the IVF recall/speed trade-off curve). Each bench rewrites only
+// its own section, so the two can be re-run independently without losing
+// each other's numbers.
+type benchRow struct {
+	Bench    string `json:"bench"` // "retrieval" or "ann"
+	Strategy string `json:"strategy"`
+	Rows     int    `json:"rows"`
+	Dim      int    `json:"dim"`
+	Queries  int    `json:"queries"`
+	K        int    `json:"k"`
+
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	Speedup       float64 `json:"speedup_vs_baseline"`
+
+	// ANN-only columns.
+	Clusters   int     `json:"clusters,omitempty"`
+	NProbe     int     `json:"nprobe,omitempty"`
+	Quantized  bool    `json:"quantized,omitempty"`
+	RecallAt1  float64 `json:"recall_at_1,omitempty"`
+	RecallAt10 float64 `json:"recall_at_10,omitempty"`
+}
+
+// updateBenchFile replaces the named section of the bench trajectory file
+// with rows, preserving every other section. A missing file starts empty;
+// a file that exists but does not parse is an error (never silently
+// clobber a trajectory someone is tracking).
+func updateBenchFile(path, section string, rows []benchRow) error {
+	var all []benchRow
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &all); err != nil {
+			return fmt.Errorf("existing %s is not a bench-row array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	kept := all[:0]
+	for _, r := range all {
+		if r.Bench != section {
+			kept = append(kept, r)
+		}
+	}
+	all = append(kept, rows...)
+	b, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

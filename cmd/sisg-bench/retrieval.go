@@ -24,7 +24,12 @@ import (
 // the engine's in the last bit (different accumulation order); identity is
 // therefore asserted engine-vs-engine, while the baseline serves as the
 // throughput reference.
-func runRetrieval(w io.Writer, rows, dim, nq, k int) error {
+//
+// Results also land in the "retrieval" section of the trajectory file at
+// outPath (empty = stdout only), same shape as BENCH_dist.json, so the
+// serving-path perf history is recorded rather than re-measured from
+// scratch each time someone asks how we got here.
+func runRetrieval(w io.Writer, outPath string, rows, dim, nq, k int) error {
 	r := rng.New(42)
 	m := emb.NewMatrix(rows, dim)
 	for i := range m.Data() {
@@ -51,6 +56,13 @@ func runRetrieval(w io.Writer, rows, dim, nq, k int) error {
 	})
 	qps := float64(nq) / baseline
 	fmt.Fprintf(w, "%-28s %10.1f queries/sec  (1.00x)\n", "serial Dot+heap baseline", qps)
+	mkRow := func(strategy string, qps, speedup float64) benchRow {
+		return benchRow{
+			Bench: "retrieval", Strategy: strategy, Rows: rows, Dim: dim, Queries: nq, K: k,
+			QueriesPerSec: qps, Speedup: speedup,
+		}
+	}
+	results := []benchRow{mkRow("serial Dot+heap baseline", qps, 1)}
 
 	shardCounts := []int{1, 4}
 	if n := runtime.NumCPU(); n != 1 && n != 4 {
@@ -75,6 +87,7 @@ func runRetrieval(w io.Writer, rows, dim, nq, k int) error {
 		}
 		label := fmt.Sprintf("engine shards=%d", shards)
 		fmt.Fprintf(w, "%-28s %10.1f queries/sec  (%.2fx)\n", label, float64(nq)/secs, baseline/secs)
+		results = append(results, mkRow(label, float64(nq)/secs, baseline/secs))
 	}
 
 	ix := knn.NewIndexSharded(m, 0, false, 4)
@@ -84,7 +97,15 @@ func runRetrieval(w io.Writer, rows, dim, nq, k int) error {
 		return fmt.Errorf("batch diverged from single-query: %v", err)
 	}
 	fmt.Fprintf(w, "%-28s %10.1f queries/sec  (%.2fx)\n", "engine batch shards=4", float64(nq)/secs, baseline/secs)
+	results = append(results, mkRow("engine batch shards=4", float64(nq)/secs, baseline/secs))
 	fmt.Fprintln(w, "determinism: bit-identical across shard counts and batch: OK")
+
+	if outPath != "" {
+		if err := updateBenchFile(outPath, "retrieval", results); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
 	return nil
 }
 

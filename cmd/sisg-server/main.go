@@ -3,6 +3,7 @@
 // sets over HTTP, covering the paper's three production retrieval paths:
 //
 //	GET /v1/similar?item=123&k=20          item-to-item candidates (§II)
+//	    &index=ivf&nprobe=8&quantized=1    sub-linear ANN retrieval (opt-in)
 //	GET /v1/coldstart/item?item=123&k=20   Eq. 6 SI-only inference (§IV-C2)
 //	GET /v1/coldstart/user?gender=F&age=2&power=1&k=20
 //	                                       user-type averaging (§IV-C1)
@@ -61,6 +62,7 @@ func main() {
 		maxInFly   = flag.Int("max-inflight", 256, "concurrent requests before shedding 503s")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline")
 		cacheSize  = flag.Int("cache", 0, "LRU cache entries for repeated /similar queries (0 = off)")
+		warmIVF    = flag.Bool("warm-ivf", false, "build the IVF ANN layer before reporting ready (first index=ivf request otherwise pays the k-means build)")
 		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 		pprofAddr  = flag.String("pprof-addr", "", "expose net/http/pprof and /metrics on this sidecar address (e.g. localhost:6060)")
 	)
@@ -139,6 +141,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *warmIVF {
+		t0 := time.Now()
+		log.Printf("warming IVF layer: %d clusters (%s)",
+			model.ItemIndex().IVFClusters(), time.Since(t0).Round(time.Millisecond))
 	}
 
 	s := server.NewConfigured(ds, model, server.Config{

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,10 @@ const (
 	// Reconnect backoff: base × 2^attempt, jittered ±50%, capped at 64×.
 	tcpRedialBase     = 1 * time.Millisecond
 	tcpRedialMaxShift = 6
+
+	// frameReadChunk bounds how much readFrame allocates ahead of bytes
+	// actually received — the unit of trust extended to a length prefix.
+	frameReadChunk = 64 << 10
 )
 
 // errIdleFrame marks a read deadline that expired between frames — zero
@@ -479,12 +484,23 @@ func readFrame(conn net.Conn) ([]byte, error) {
 	if size == 0 || size > maxFramePayload {
 		return nil, errors.New("dist: frame size out of bounds")
 	}
-	buf := make([]byte, size)
-	if err := conn.SetReadDeadline(time.Now().Add(tcpWriteTimeout)); err != nil {
-		return nil, err
-	}
-	if _, err := io.ReadFull(conn, buf); err != nil {
-		return nil, err
+	// Read the payload in bounded chunks, growing the buffer as bytes
+	// actually arrive: a hostile 16MB length prefix on a stream that then
+	// stalls or closes costs one chunk of memory, not maxFramePayload.
+	// The deadline is re-armed per chunk, so a slow sender of a large
+	// frame only has to keep the pipe moving, while a mid-frame stall is
+	// still fatal within one chunk's window.
+	buf := make([]byte, 0, min(int(size), frameReadChunk))
+	for len(buf) < int(size) {
+		n := min(int(size)-len(buf), frameReadChunk)
+		if err := conn.SetReadDeadline(time.Now().Add(tcpWriteTimeout)); err != nil {
+			return nil, err
+		}
+		off := len(buf)
+		buf = slices.Grow(buf, n)[:off+n]
+		if _, err := io.ReadFull(conn, buf[off:]); err != nil {
+			return nil, err
+		}
 	}
 	return buf, nil
 }

@@ -53,6 +53,9 @@ func decodeReq(p []byte) (id uint64, vec []float32, ctx int32, lr float32, err e
 	if len(p) < reqHeaderLen || (len(p)-reqHeaderLen)%4 != 0 {
 		return 0, nil, 0, 0, fmt.Errorf("dist: malformed request frame (%d bytes)", len(p))
 	}
+	if p[0] != frameReq {
+		return 0, nil, 0, 0, fmt.Errorf("dist: request frame has kind %d", p[0])
+	}
 	id = binary.LittleEndian.Uint64(p[1:])
 	ctx = int32(binary.LittleEndian.Uint32(p[9:]))
 	lr = math.Float32frombits(binary.LittleEndian.Uint32(p[13:]))
@@ -82,6 +85,9 @@ func encodeResp(id uint64, grad []float32) []byte {
 func decodeResp(p []byte) (id uint64, grad []float32, err error) {
 	if len(p) < respHeaderLen || (len(p)-respHeaderLen)%4 != 0 {
 		return 0, nil, fmt.Errorf("dist: malformed reply frame (%d bytes)", len(p))
+	}
+	if p[0] != frameResp {
+		return 0, nil, fmt.Errorf("dist: reply frame has kind %d", p[0])
 	}
 	id = binary.LittleEndian.Uint64(p[1:])
 	body := p[respHeaderLen:]

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// byteConn serves a fixed byte stream through the net.Conn interface and
+// swallows everything else. Reads return io.EOF once the stream drains,
+// so readFrame's deadlines never actually wait — essential for a fuzz
+// target that must execute thousands of malformed streams per second
+// (net.Pipe would park each truncated frame on a real deadline).
+type byteConn struct{ r *bytes.Reader }
+
+func (c *byteConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *byteConn) Close() error                     { return nil }
+func (c *byteConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *byteConn) SetDeadline(time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(time.Time) error { return nil }
+
+// FuzzWireDecode throws arbitrary byte streams at the TCP framing layer:
+// readFrame plus both payload decoders. Malformed length prefixes,
+// truncated frames and unknown kinds must come back as errors — never a
+// panic, and never a payload that disagrees with its prefix. On frames
+// that do decode, encode∘decode must reproduce the wire bytes exactly
+// (the bit-for-bit round-trip the chan-vs-tcp equivalence tests rely on).
+func FuzzWireDecode(f *testing.F) {
+	f.Add(encodeReq(7, []float32{1, -2.5, float32(math.Inf(1))}, 42, 0.025))
+	f.Add(encodeReq(0, nil, -1, 0))
+	f.Add(encodeResp(7, []float32{0.5, float32(math.NaN())}))
+	f.Add(encodeResp(1, nil))
+	f.Add([]byte{})                             // no header
+	f.Add([]byte{9, 0, 0})                      // truncated header
+	f.Add([]byte{0, 0, 0, 0})                   // zero-size frame
+	f.Add([]byte{255, 255, 255, 255, frameReq}) // 4GB length prefix, 1 byte behind it
+	huge := make([]byte, 4, 4+64)
+	binary.LittleEndian.PutUint32(huge, maxFramePayload)
+	f.Add(append(huge, bytes.Repeat([]byte{1}, 60)...)) // max-size prefix, truncated body
+	f.Add([]byte{5, 0, 0, 0, 99, 1, 2, 3, 4})           // unknown kind 99
+	bad := encodeReq(3, []float32{1, 2}, 0, 1)
+	bad[4] = frameResp // reply kind wearing a request's length
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(&byteConn{bytes.NewReader(data)})
+		if err != nil {
+			return // rejected stream: fine, as long as nothing panicked
+		}
+		if len(payload) == 0 || len(payload) > maxFramePayload {
+			t.Fatalf("readFrame returned %d bytes, outside (0, %d]", len(payload), maxFramePayload)
+		}
+		if want := binary.LittleEndian.Uint32(data); uint32(len(payload)) != want {
+			t.Fatalf("payload %d bytes, prefix said %d", len(payload), want)
+		}
+
+		id, vec, ctx, lr, reqErr := decodeReq(payload)
+		if payload[0] != frameReq && reqErr == nil {
+			t.Fatalf("decodeReq accepted kind %d", payload[0])
+		}
+		if reqErr == nil {
+			if again := encodeReq(id, vec, ctx, lr); !bytes.Equal(again[4:], payload) {
+				t.Fatalf("request round trip changed the frame:\nin:  %x\nout: %x", payload, again[4:])
+			}
+		}
+
+		rid, grad, respErr := decodeResp(payload)
+		if payload[0] != frameResp && respErr == nil {
+			t.Fatalf("decodeResp accepted kind %d", payload[0])
+		}
+		if respErr == nil {
+			if again := encodeResp(rid, grad); !bytes.Equal(again[4:], payload) {
+				t.Fatalf("reply round trip changed the frame:\nin:  %x\nout: %x", payload, again[4:])
+			}
+		}
+	})
+}

@@ -1,0 +1,343 @@
+// The IVF (inverted-file) layer: the sub-linear strategy behind
+// Options.Index = "ivf". Rows are partitioned by a deterministic k-means
+// over the indexed matrix (nlist ≈ sqrt(rows) coarse centroids); a query
+// scores all centroids, probes the NProbe most promising non-empty
+// clusters, and the union of their posting lists is the candidate set.
+// Candidates are optionally pre-screened with int8 quantized dot products
+// (Options.Quantized) and always re-ranked with the exact float32 kernel
+// under the engine's canonical total order — approximation decides which
+// rows are *considered*, never what score a served row carries.
+//
+// Determinism: the build is a pure function of the matrix — centroids seed
+// from evenly spaced rows (no RNG), Lloyd iterations assign ties to the
+// lowest centroid id, and posting lists are ascending row ids — and the
+// query path selects under the total order, so IVF results are reproducible
+// across runs, platforms, and Parallelism settings. The degenerate case
+// NProbe >= nlist enumerates every row and is bit-identical to the flat
+// scan (locked down by TestIVFExhaustiveBitIdenticalToFlat).
+package knn
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sisg/internal/vecmath"
+)
+
+const (
+	// kmeansIters bounds the Lloyd iterations of the coarse quantizer.
+	// Convergence beyond ~10 iterations moves recall by noise only.
+	kmeansIters = 10
+	// rerankFactor and rerankMin size the exact-re-rank shortlist the
+	// quantized pre-screen keeps: max(rerankFactor*K, rerankMin)
+	// candidates survive to float32 scoring.
+	rerankFactor = 4
+	rerankMin    = 64
+)
+
+// ivfIndex is the immutable IVF layer of an Index: coarse centroids, one
+// ascending posting list per centroid, and the int8-quantized mirror of
+// the indexed rows for shortlist scoring.
+type ivfIndex struct {
+	nlist     int
+	dim       int
+	centroids []float32 // nlist × dim, row-major
+	lists     [][]int32 // per centroid, ascending row ids (may be empty)
+	nonEmpty  int       // number of non-empty posting lists
+	codes     []int8    // rows × dim int8 codes (symmetric per-row scale)
+	scales    []float32 // per-row quantization scale
+}
+
+// ivfLayer returns the IVF layer, building it on first use. The build is
+// deterministic and guarded by a sync.Once, so concurrent first queries
+// are safe and agree.
+func (ix *Index) ivfLayer() *ivfIndex {
+	ix.ivfOnce.Do(func() { ix.ivf = buildIVF(ix) })
+	return ix.ivf
+}
+
+// IVFClusters returns the coarse-centroid count of the index's IVF layer
+// (building the layer if needed) — the NProbe value at which IVF
+// retrieval degenerates to an exhaustive, bit-identical-to-flat scan.
+func (ix *Index) IVFClusters() int {
+	if ix.rows == 0 {
+		return 0
+	}
+	return ix.ivfLayer().nlist
+}
+
+// defaultNProbe is the probe width used when Options.NProbe <= 0:
+// about sqrt(nlist), the classical accuracy/speed sweet spot.
+func defaultNProbe(nlist int) int {
+	np := int(math.Sqrt(float64(nlist)) + 0.5)
+	if np < 1 {
+		np = 1
+	}
+	return np
+}
+
+// buildIVF runs the deterministic k-means and quantization pass over the
+// indexed rows. Assignment is parallel over row blocks (pure per-row work,
+// so parallelism cannot change the result); centroid updates are serial in
+// ascending row order.
+func buildIVF(ix *Index) *ivfIndex {
+	rows, dim := ix.rows, ix.mat.Dim
+	data := ix.mat.Data()
+	nlist := int(math.Sqrt(float64(rows)) + 0.5)
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nlist > rows {
+		nlist = rows
+	}
+	iv := &ivfIndex{nlist: nlist, dim: dim, centroids: make([]float32, nlist*dim)}
+
+	// Seed centroids from evenly spaced rows: deterministic, and spread
+	// across the id range (embedding rows carry no id-order structure
+	// worth stratifying on, but every seed is a real data point).
+	for c := 0; c < nlist; c++ {
+		src := (c * rows) / nlist
+		copy(iv.centroids[c*dim:(c+1)*dim], data[src*dim:(src+1)*dim])
+	}
+
+	assign := make([]int32, rows)
+	halfNorm := make([]float32, nlist)
+	sums := make([]float32, nlist*dim)
+	counts := make([]int32, nlist)
+	for iter := 0; iter <= kmeansIters; iter++ {
+		iv.assignRows(assign, halfNorm, data, rows)
+		if iter == kmeansIters {
+			break // final assignment pass matches the final centroids
+		}
+		vecmath.Zero(sums)
+		for c := range counts {
+			counts[c] = 0
+		}
+		for r := 0; r < rows; r++ {
+			c := assign[r]
+			vecmath.Add(data[r*dim:(r+1)*dim], sums[int(c)*dim:(int(c)+1)*dim])
+			counts[c]++
+		}
+		for c := 0; c < nlist; c++ {
+			if counts[c] == 0 {
+				continue // empty cluster keeps its centroid (and an empty list)
+			}
+			cen := iv.centroids[c*dim : (c+1)*dim]
+			copy(cen, sums[c*dim:(c+1)*dim])
+			vecmath.Scale(1/float32(counts[c]), cen)
+		}
+	}
+
+	iv.lists = make([][]int32, nlist)
+	for r := 0; r < rows; r++ {
+		c := assign[r]
+		iv.lists[c] = append(iv.lists[c], int32(r)) // ascending by construction
+	}
+	for _, l := range iv.lists {
+		if len(l) > 0 {
+			iv.nonEmpty++
+		}
+	}
+
+	iv.codes = make([]int8, rows*dim)
+	iv.scales = make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		iv.scales[r] = vecmath.QuantizeRow(iv.codes[r*dim:(r+1)*dim], data[r*dim:(r+1)*dim])
+	}
+	return iv
+}
+
+// assignRows computes, for every row, the nearest centroid by Euclidean
+// distance (argmax of c·x − ||c||²/2; ties to the lowest centroid id),
+// fanning row blocks across a bounded worker pool.
+func (iv *ivfIndex) assignRows(assign []int32, halfNorm []float32, data []float32, rows int) {
+	dim := iv.dim
+	for c := 0; c < iv.nlist; c++ {
+		cen := iv.centroids[c*dim : (c+1)*dim]
+		halfNorm[c] = vecmath.Dot(cen, cen) / 2
+	}
+	const block = 256
+	blocks := (rows + block - 1) / block
+	workers := runtime.GOMAXPROCS(0)
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scores := make([]float32, iv.nlist)
+			for {
+				b := int(next.Add(1))
+				if b >= blocks {
+					return
+				}
+				lo := b * block
+				hi := lo + block
+				if hi > rows {
+					hi = rows
+				}
+				for r := lo; r < hi; r++ {
+					vecmath.DotRows(scores, iv.centroids, data[r*dim:(r+1)*dim])
+					best, bestScore := int32(0), scores[0]-halfNorm[0]
+					for c := 1; c < iv.nlist; c++ {
+						if s := scores[c] - halfNorm[c]; s > bestScore {
+							best, bestScore = int32(c), s
+						}
+					}
+					assign[r] = best
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// queryIVF answers one prepared (already normalized if requested) query
+// through the IVF layer.
+func (ix *Index) queryIVF(q []float32, opts Options) []Result {
+	iv := ix.ivfLayer()
+	cands := iv.candidates(q, opts.NProbe)
+	if opts.Quantized {
+		cands = iv.quantShortlist(cands, q, opts)
+	}
+	return ix.rerank(cands, q, opts.K, opts.Skip)
+}
+
+// queryBatchIVF runs queryIVF per query on a bounded worker pool. Queries
+// are independent, so parallelism affects speed only.
+func (ix *Index) queryBatchIVF(prepared [][]float32, opts Options, out [][]Result) [][]Result {
+	workers := opts.effectiveWorkers(len(prepared))
+	if workers == 1 {
+		for qi, q := range prepared {
+			out[qi] = ix.queryIVF(q, opts)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				qi := int(next.Add(1))
+				if qi >= len(prepared) {
+					return
+				}
+				out[qi] = ix.queryIVF(prepared[qi], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// candidates returns the posting lists of the nprobe most promising
+// non-empty clusters (centroid dot product desc, centroid id asc — the
+// MIPS probe rule; for a normalized index this is cosine). Lists are
+// returned as-is, not concatenated: selection downstream is canonical, so
+// enumeration order cannot change the answer, and skipping the merge keeps
+// the per-query constant cost low. Skipping empty lists keeps NProbe an
+// honest work budget, and makes NProbe >= nlist exhaustive even when
+// k-means left clusters empty.
+func (iv *ivfIndex) candidates(q []float32, nprobe int) [][]int32 {
+	if nprobe <= 0 {
+		nprobe = defaultNProbe(iv.nlist)
+	}
+	scores := make([]float32, iv.nlist)
+	vecmath.DotRows(scores, iv.centroids, q)
+	order := make([]int32, iv.nlist)
+	for c := range order {
+		order[c] = int32(c)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if scores[ca] != scores[cb] {
+			return scores[ca] > scores[cb]
+		}
+		return ca < cb
+	})
+	probeLists := make([][]int32, 0, nprobe)
+	for _, c := range order {
+		l := iv.lists[c]
+		if len(l) == 0 {
+			continue
+		}
+		probeLists = append(probeLists, l)
+		if len(probeLists) == nprobe {
+			break
+		}
+	}
+	return probeLists
+}
+
+// quantShortlist pre-screens candidates with int8 quantized dot products,
+// keeping the max(rerankFactor*K, rerankMin) best under the total order
+// for the exact re-rank. Quantized scores only ever decide membership of
+// the re-rank set; they are never served.
+func (iv *ivfIndex) quantShortlist(lists [][]int32, q []float32, opts Options) [][]int32 {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	keep := opts.K * rerankFactor
+	if keep < rerankMin {
+		keep = rerankMin
+	}
+	if keep >= total {
+		return lists
+	}
+	qc := make([]int8, len(q))
+	qs := vecmath.QuantizeRow(qc, q)
+	h := make(minHeap, 0, keep)
+	dim := iv.dim
+	for _, l := range lists {
+		for _, id := range l {
+			if opts.Skip != nil && opts.Skip(id) {
+				continue
+			}
+			s := float32(vecmath.DotInt8(iv.codes[int(id)*dim:(int(id)+1)*dim], qc)) * iv.scales[id] * qs
+			pushBounded(&h, Result{ID: id, Score: s}, keep)
+		}
+	}
+	ids := make([]int32, len(h))
+	for i, r := range h {
+		ids[i] = r.ID
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return [][]int32{ids}
+}
+
+// rerank scores candidate rows exactly, each with one DotRows call on the
+// row in place — the schedule is per-row, so the score is bit-identical
+// to what the flat scan's tiled call computes for the same row — then
+// selects under the canonical total order. No gather copy: approximate
+// retrieval must not pay more memory traffic per candidate than the scan
+// it replaces.
+func (ix *Index) rerank(lists [][]int32, q []float32, k int, skip func(int32) bool) []Result {
+	dim := ix.mat.Dim
+	data := ix.mat.Data()
+	var score [1]float32
+	h := make(minHeap, 0, k)
+	for _, l := range lists {
+		for _, id := range l {
+			if skip != nil && skip(id) {
+				continue
+			}
+			vecmath.DotRows(score[:], data[int(id)*dim:(int(id)+1)*dim], q)
+			pushBounded(&h, Result{ID: id, Score: score[0]}, k)
+		}
+	}
+	return mergeTopK([]minHeap{h}, k)
+}

@@ -1,0 +1,209 @@
+package knn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sisg/internal/emb"
+	"sisg/internal/rng"
+)
+
+// clusteredMatrix draws rows from a mixture of `centers` Gaussians — the
+// regime IVF is built for (uniform random data has no cluster structure
+// and is adversarial for any partition-based ANN index).
+func clusteredMatrix(rows, dim, centers int, seed uint64) *emb.Matrix {
+	r := rng.New(seed)
+	mu := make([][]float32, centers)
+	for c := range mu {
+		mu[c] = make([]float32, dim)
+		for d := range mu[c] {
+			mu[c][d] = float32(r.NormFloat64()) * 4
+		}
+	}
+	m := emb.NewMatrix(rows, dim)
+	for i := 0; i < rows; i++ {
+		row := m.Row(int32(i))
+		center := mu[r.Intn(centers)]
+		for d := range row {
+			row[d] = center[d] + float32(r.NormFloat64())*0.3
+		}
+	}
+	return m
+}
+
+// The satellite-1 property: IVF with NProbe >= the cluster count probes
+// every non-empty posting list, so it enumerates exactly the rows the
+// flat scan does — and because selection is canonical and the re-rank
+// uses the same kernel schedule, the output is bit-identical to the flat
+// scan (and therefore to the serial reference).
+func TestIVFExhaustiveBitIdenticalToFlat(t *testing.T) {
+	f := func(seed uint64, rowsRaw uint16, kRaw, dimRaw uint8, normalize, withSkip bool) bool {
+		rows := 1 + int(rowsRaw)%1200
+		dim := 2 + int(dimRaw)%24
+		k := 1 + int(kRaw)%40
+		m := randomMatrix(rows, dim, seed)
+		q := randomMatrix(1, dim, seed^0x5eed).Row(0)
+		ix := NewIndex(m, rows, false)
+		var skip func(int32) bool
+		if withSkip {
+			skip = func(id int32) bool { return id%5 == int32(seed%5) }
+		}
+		flat := ix.Query(q, Options{K: k, Normalize: normalize, Skip: skip})
+		ivf := ix.Query(q, Options{
+			K: k, Normalize: normalize, Skip: skip,
+			Index: IndexIVF, NProbe: rows + 1, // >= nlist: exhaustive
+		})
+		sameResults(t, fmt.Sprintf("seed=%d rows=%d dim=%d k=%d", seed, rows, dim, k), ivf, flat)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Quantized exhaustive probe is also bit-identical whenever the shortlist
+// budget covers every candidate (the int8 pre-screen only trims when it
+// must): quantization decides membership, never served scores.
+func TestIVFQuantizedExhaustiveSmallIsExact(t *testing.T) {
+	rows, dim, k := 60, 12, 5 // shortlist keep = rerankMin = 64 >= rows
+	m := randomMatrix(rows, dim, 11)
+	ix := NewIndex(m, rows, false)
+	q := randomMatrix(1, dim, 13).Row(0)
+	flat := ix.Query(q, Options{K: k})
+	ivf := ix.Query(q, Options{K: k, Index: IndexIVF, NProbe: rows, Quantized: true})
+	sameResults(t, "quantized exhaustive", ivf, flat)
+}
+
+// Recall sanity on clustered data at the default NProbe, quantized and
+// not. This is a loose floor — the bench harness (cmd/sisg-bench -ann)
+// measures the real recall/speed curve — but it catches a broken probe
+// order or a shortlist that drops the true neighbors wholesale.
+func TestIVFRecallOnClusteredData(t *testing.T) {
+	const rows, dim, k, nq = 4000, 16, 10, 40
+	m := clusteredMatrix(rows, dim, 25, 42)
+	ix := NewIndex(m, rows, false)
+	r := rng.New(99)
+	for _, quantized := range []bool{false, true} {
+		hits, want := 0, 0
+		for i := 0; i < nq; i++ {
+			q := make([]float32, dim)
+			src := m.Row(int32(r.Intn(rows)))
+			for d := range q {
+				q[d] = src[d] + float32(r.NormFloat64())*0.05
+			}
+			truth := ix.Query(q, Options{K: k})
+			got := ix.Query(q, Options{K: k, Index: IndexIVF, Quantized: quantized})
+			inTruth := make(map[int32]bool, len(truth))
+			for _, res := range truth {
+				inTruth[res.ID] = true
+			}
+			want += len(truth)
+			for _, res := range got {
+				if inTruth[res.ID] {
+					hits++
+				}
+			}
+		}
+		recall := float64(hits) / float64(want)
+		t.Logf("quantized=%v recall@%d = %.3f", quantized, k, recall)
+		if recall < 0.9 {
+			t.Errorf("quantized=%v recall@%d = %.3f, want >= 0.9", quantized, k, recall)
+		}
+	}
+}
+
+// Batch IVF must agree with per-query IVF at every parallelism.
+func TestIVFBatchMatchesSingle(t *testing.T) {
+	const rows, dim, k, nq = 700, 10, 7, 23
+	m := clusteredMatrix(rows, dim, 12, 7)
+	ix := NewIndex(m, rows, false)
+	qs := make([][]float32, nq)
+	for i := range qs {
+		qs[i] = randomMatrix(1, dim, uint64(100+i)).Row(0)
+	}
+	opts := Options{K: k, Index: IndexIVF, NProbe: 3, Quantized: true}
+	single := make([][]Result, nq)
+	for i, q := range qs {
+		single[i] = ix.Query(q, opts)
+	}
+	for _, par := range []int{1, 4} {
+		opts.Parallelism = par
+		batch := ix.QueryBatch(qs, opts)
+		for i := range batch {
+			sameResults(t, fmt.Sprintf("par=%d query %d", par, i), batch[i], single[i])
+		}
+	}
+}
+
+// The IVF layer is built lazily behind a sync.Once; hammer the first
+// build from many goroutines (run under -race in CI) and check everyone
+// sees the same answer.
+func TestIVFConcurrentFirstBuild(t *testing.T) {
+	const rows, dim, k = 900, 8, 6
+	m := clusteredMatrix(rows, dim, 9, 3)
+	ix := NewIndex(m, rows, false)
+	q := randomMatrix(1, dim, 77).Row(0)
+	opts := Options{K: k, Index: IndexIVF, NProbe: rows} // exhaustive: answer is known
+	want := NewIndex(m, rows, false).Query(q, Options{K: k})
+	var wg sync.WaitGroup
+	got := make([][]Result, 16)
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = ix.Query(q, opts)
+		}(g)
+	}
+	wg.Wait()
+	for g := range got {
+		sameResults(t, fmt.Sprintf("goroutine %d", g), got[g], want)
+	}
+}
+
+func TestIVFClustersAccessor(t *testing.T) {
+	m := randomMatrix(400, 6, 5)
+	ix := NewIndex(m, 400, false)
+	n := ix.IVFClusters()
+	if n != 20 { // round(sqrt(400))
+		t.Fatalf("IVFClusters() = %d, want 20", n)
+	}
+	empty := NewIndex(emb.NewMatrix(0, 6), 0, false)
+	if got := empty.IVFClusters(); got != 0 {
+		t.Fatalf("empty IVFClusters() = %d, want 0", got)
+	}
+}
+
+// Satellite 3 (engine side): Options.Validate classifies bad options; the
+// server test suite checks the same cases surface as bad_request JSON.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr string
+	}{
+		{"flat default ok", Options{K: 5}, ""},
+		{"flat explicit ok", Options{K: 5, Index: IndexFlat}, ""},
+		{"ivf ok", Options{K: 5, Index: IndexIVF}, ""},
+		{"ivf nprobe ok", Options{K: 5, Index: IndexIVF, NProbe: 8}, ""},
+		{"ivf quantized ok", Options{K: 5, Index: IndexIVF, Quantized: true}, ""},
+		{"zero k", Options{K: 0}, "knn: k must be positive, got 0"},
+		{"negative k", Options{K: -3, Index: IndexIVF}, "knn: k must be positive, got -3"},
+		{"negative nprobe", Options{K: 5, Index: IndexIVF, NProbe: -1}, "knn: nprobe must be >= 0 (0 means default), got -1"},
+		{"nprobe without ivf", Options{K: 5, NProbe: 4}, "knn: nprobe is only meaningful with index=ivf"},
+		{"quantized without ivf", Options{K: 5, Index: IndexFlat, Quantized: true}, "knn: quantized is only meaningful with index=ivf"},
+		{"unknown index", Options{K: 5, Index: "hnsw"}, `knn: unknown index "hnsw" (want "flat" or "ivf")`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("Validate() = %v, want nil", err)
+			case tc.wantErr != "" && (err == nil || err.Error() != tc.wantErr):
+				t.Fatalf("Validate() = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -408,9 +408,16 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	opts, ok := s.annOptions(w, r, k)
+	if !ok {
+		return
+	}
 	s.similar.Inc()
 	start := time.Now()
-	if s.cache != nil {
+	// Only the exact default scan is cached: ANN answers depend on
+	// index/nprobe/quantized, and folding those into the key would let
+	// approximate results shadow exact ones (and vice versa).
+	if s.cache != nil && opts.Index == "" {
 		key := uint64(uint32(item))<<32 | uint64(uint32(k))
 		if recs, hit := s.cache.Get(key); hit {
 			s.cacheHits.Inc()
@@ -425,9 +432,38 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		s.writeCandidates(w, recs)
 		return
 	}
-	recs := s.model.SimilarItems(item, k)
+	recs := s.model.SimilarItemsOpts(item, k, opts)
 	s.scanSeconds.ObserveSince(start)
 	s.writeCandidates(w, recs)
+}
+
+// annOptions parses the retrieval-strategy query parameters (index,
+// nprobe, quantized) into knn.Options and rejects inconsistent
+// combinations with the engine's own Validate message. The zero Index
+// (parameter absent) keeps the cached exact-scan fast path.
+func (s *Server) annOptions(w http.ResponseWriter, r *http.Request, k int) (knn.Options, bool) {
+	var opts knn.Options
+	opts.Index = r.URL.Query().Get("index")
+	nprobe, ok := intParam(r, "nprobe", 0)
+	if !ok {
+		s.clientError(w, "nprobe is not an integer")
+		return opts, false
+	}
+	opts.NProbe = nprobe
+	if v := r.URL.Query().Get("quantized"); v != "" {
+		q, err := strconv.ParseBool(v)
+		if err != nil {
+			s.clientError(w, "quantized is not a boolean")
+			return opts, false
+		}
+		opts.Quantized = q
+	}
+	opts.K = k // so Validate sees the full picture
+	if err := opts.Validate(); err != nil {
+		s.clientError(w, "%s", err)
+		return opts, false
+	}
+	return opts, true
 }
 
 // coldItemRequest is the POST body of /coldstart/item: a brand-new item

@@ -163,11 +163,18 @@ func (m *Model) QueryVector(query int32) []float32 {
 // query itself. This is the matching-stage primitive: "a candidate set of
 // similar items is obtained for each item that users have interacted with".
 func (m *Model) SimilarItems(query int32, k int) []knn.Result {
-	return m.ItemIndex().Query(m.QueryVector(query), knn.Options{
-		K:         k,
-		Normalize: !m.Variant.Directed,
-		Skip:      func(id int32) bool { return id == query },
-	})
+	return m.SimilarItemsOpts(query, k, knn.Options{})
+}
+
+// SimilarItemsOpts is SimilarItems with caller-chosen retrieval strategy:
+// opts.Index/NProbe/Quantized select the scan (flat brute force or IVF
+// ANN) while K, Normalize and Skip are still owned by the model so the
+// variant's scoring rule and self-exclusion cannot be overridden.
+func (m *Model) SimilarItemsOpts(query int32, k int, opts knn.Options) []knn.Result {
+	opts.K = k
+	opts.Normalize = !m.Variant.Directed
+	opts.Skip = func(id int32) bool { return id == query }
+	return m.ItemIndex().Query(m.QueryVector(query), opts)
 }
 
 // SimilarItemsBatch is SimilarItems for many query items at once, returning

@@ -1,0 +1,149 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sisg/internal/rng"
+)
+
+// randomRow fills a length-n row with values in [-spread, spread], with an
+// occasional exact zero and repeated value so quantization ties occur.
+func randomRow(r *rng.RNG, n int, spread float64) []float32 {
+	row := make([]float32, n)
+	for i := range row {
+		switch r.Intn(16) {
+		case 0:
+			row[i] = 0
+		case 1:
+			if i > 0 {
+				row[i] = row[i-1]
+			}
+		default:
+			row[i] = float32((r.Float64()*2 - 1) * spread)
+		}
+	}
+	return row
+}
+
+// Quantize/dequantize round trip: every element must reconstruct within
+// scale/2 (the bound the max-abs symmetric format guarantees), and the
+// max-abs element must survive with code magnitude 127.
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	f := func(seed uint64, dimRaw uint8, spreadRaw uint8) bool {
+		r := rng.New(seed)
+		dim := 1 + int(dimRaw)%192
+		spread := 0.001 + float64(spreadRaw)/8 // 0.001 .. ~32
+		row := randomRow(r, dim, spread)
+		codes := make([]int8, dim)
+		scale := QuantizeRow(codes, row)
+		if scale < 0 {
+			t.Errorf("negative scale %g", scale)
+			return false
+		}
+		back := make([]float32, dim)
+		DequantizeRow(back, codes, scale)
+		// float32 slack: scale*code is one rounding away from exact.
+		bound := float64(scale)/2*(1+1e-5) + 1e-30
+		for i := range row {
+			if err := math.Abs(float64(row[i]) - float64(back[i])); err > bound {
+				t.Errorf("seed=%d dim=%d elem %d: |%g - %g| = %g > %g (scale %g)",
+					seed, dim, i, row[i], back[i], err, bound, scale)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeZeroRow(t *testing.T) {
+	row := make([]float32, 37)
+	codes := make([]int8, 37)
+	if scale := QuantizeRow(codes, row); scale != 0 {
+		t.Fatalf("zero row scale = %g, want 0", scale)
+	}
+	for i, c := range codes {
+		if c != 0 {
+			t.Fatalf("zero row code[%d] = %d", i, c)
+		}
+	}
+}
+
+// Quantized dot vs float dot: the error is bounded by the analytic bound
+//
+//	|<r,q> - s_r s_q <c_r,c_q>| <= (s_r/2)·Σ|q_i| + (s_q/2)·Σ|r̂_i|
+//
+// (each element of a quantized row is within half a scale step of its
+// float value, and the int32 accumulation inside DotInt8 is exact).
+func TestQuantizedDotErrorBound(t *testing.T) {
+	f := func(seed uint64, dimRaw uint8) bool {
+		r := rng.New(seed)
+		dim := 1 + int(dimRaw)%192
+		row := randomRow(r, dim, 2)
+		q := randomRow(r, dim, 2)
+		rc := make([]int8, dim)
+		qc := make([]int8, dim)
+		rs := QuantizeRow(rc, row)
+		qs := QuantizeRow(qc, q)
+
+		got := float64(rs) * float64(qs) * float64(DotInt8(rc, qc))
+		var want, sumAbsQ, sumAbsRHat float64
+		for i := range row {
+			want += float64(row[i]) * float64(q[i])
+			sumAbsQ += math.Abs(float64(q[i]))
+			sumAbsRHat += math.Abs(float64(rs) * float64(rc[i]))
+		}
+		bound := float64(rs)/2*sumAbsQ + float64(qs)/2*sumAbsRHat
+		// Slack for the float32 rounding of the scales themselves.
+		bound = bound*(1+1e-5) + 1e-20
+		if err := math.Abs(got - want); err > bound {
+			t.Errorf("seed=%d dim=%d: |%g - %g| = %g > bound %g", seed, dim, got, want, err, bound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DotInt8 must agree with a plain reference loop (the 4-way unroll is a
+// pure speedup; integer arithmetic leaves no schedule freedom).
+func TestDotInt8MatchesReference(t *testing.T) {
+	r := rng.New(7)
+	for dim := 0; dim < 70; dim++ {
+		a := make([]int8, dim)
+		b := make([]int8, dim)
+		for i := range a {
+			a[i] = int8(r.Intn(255) - 127)
+			b[i] = int8(r.Intn(255) - 127)
+		}
+		var want int32
+		for i := range a {
+			want += int32(a[i]) * int32(b[i])
+		}
+		if got := DotInt8(a, b); got != want {
+			t.Fatalf("dim %d: DotInt8 = %d, want %d", dim, got, want)
+		}
+	}
+}
+
+func BenchmarkDotInt8Dim64(b *testing.B) {
+	r := rng.New(9)
+	x := make([]int8, 64)
+	y := make([]int8, 64)
+	for i := range x {
+		x[i] = int8(r.Intn(255) - 127)
+		y[i] = int8(r.Intn(255) - 127)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt32 = DotInt8(x, y)
+	}
+}
+
+var sinkInt32 int32
