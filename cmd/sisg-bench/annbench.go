@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -61,21 +62,24 @@ func runANN(w io.Writer, outPath string, rows, dim, nq, k int, floor, minSpeedup
 	if kk < 10 {
 		kk = 10
 	}
-	truth := ix.QueryBatch(queries, knn.Options{K: kk})
+	truth, err := ix.QueryBatch(context.Background(), queries, knn.Options{K: kk})
+	if err != nil {
+		return err
+	}
 
 	// Throughput is measured batched for both paths — flat coalesces
 	// tiles across queries, IVF fans queries across cores — so the
 	// speedup column compares saturated engine against saturated engine,
 	// not a parallel scan against one goroutine.
 	measure := func(opts knn.Options) ([][]knn.Result, float64) {
-		out := ix.QueryBatch(queries, opts) // warm (builds IVF on first use)
+		out, _ := ix.QueryBatch(context.Background(), queries, opts) // warm (builds IVF on first use)
 		var reps int
 		start := time.Now()
 		for reps = 0; ; reps++ {
 			if s := time.Since(start).Seconds(); s >= 0.3 && reps >= 1 {
 				return out, float64(reps*nq) / s
 			}
-			ix.QueryBatch(queries, opts)
+			_, _ = ix.QueryBatch(context.Background(), queries, opts)
 		}
 	}
 
@@ -88,7 +92,10 @@ func runANN(w io.Writer, outPath string, rows, dim, nq, k int, floor, minSpeedup
 	}}
 
 	// The exhaustive-probe anchor: bit-identical to flat, by construction.
-	exhaustive := ix.QueryBatch(queries, knn.Options{K: kk, Index: knn.IndexIVF, NProbe: nlist})
+	exhaustive, err := ix.QueryBatch(context.Background(), queries, knn.Options{K: kk, Index: knn.IndexIVF, NProbe: nlist})
+	if err != nil {
+		return err
+	}
 	if err := sameResultSets(truth, exhaustive); err != nil {
 		return fmt.Errorf("IVF at exhaustive probe diverged from flat scan: %v", err)
 	}

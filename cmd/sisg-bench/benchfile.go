@@ -1,10 +1,6 @@
 package main
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-)
+import "sisg/internal/benchio"
 
 // benchRow is one row of BENCH_retrieval.json — the serving-path analogue
 // of BENCH_dist.json. The file is a flat JSON array holding two sections
@@ -32,28 +28,8 @@ type benchRow struct {
 }
 
 // updateBenchFile replaces the named section of the bench trajectory file
-// with rows, preserving every other section. A missing file starts empty;
-// a file that exists but does not parse is an error (never silently
-// clobber a trajectory someone is tracking).
+// with rows, preserving every other section (see internal/benchio, the
+// shared implementation every BENCH_*.json writer delegates to).
 func updateBenchFile(path, section string, rows []benchRow) error {
-	var all []benchRow
-	if b, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(b, &all); err != nil {
-			return fmt.Errorf("existing %s is not a bench-row array: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	kept := all[:0]
-	for _, r := range all {
-		if r.Bench != section {
-			kept = append(kept, r)
-		}
-	}
-	all = append(kept, rows...)
-	b, err := json.MarshalIndent(all, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return benchio.UpdateSection(path, section, rows)
 }

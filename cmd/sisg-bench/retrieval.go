@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -73,12 +74,12 @@ func runRetrieval(w io.Writer, outPath string, rows, dim, nq, k int) error {
 		ix := knn.NewIndexSharded(m, 0, false, shards)
 		secs := elapsed(func() {
 			for _, q := range queries {
-				ix.Query(q, knn.Options{K: k})
+				_, _ = ix.Query(context.Background(), q, knn.Options{K: k})
 			}
 		})
 		got := make([][]knn.Result, nq)
 		for i, q := range queries {
-			got[i] = ix.Query(q, knn.Options{K: k})
+			got[i], _ = ix.Query(context.Background(), q, knn.Options{K: k})
 		}
 		if want == nil {
 			want = got
@@ -92,7 +93,7 @@ func runRetrieval(w io.Writer, outPath string, rows, dim, nq, k int) error {
 
 	ix := knn.NewIndexSharded(m, 0, false, 4)
 	var batched [][]knn.Result
-	secs := elapsed(func() { batched = ix.QueryBatch(queries, knn.Options{K: k}) })
+	secs := elapsed(func() { batched, _ = ix.QueryBatch(context.Background(), queries, knn.Options{K: k}) })
 	if err := sameResultSets(want, batched); err != nil {
 		return fmt.Errorf("batch diverged from single-query: %v", err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -90,7 +91,10 @@ func main() {
 			}
 		}
 		start := time.Now()
-		results := model.SimilarItemsBatch(queries, maxK)
+		results, err := model.SimilarItemsBatch(context.Background(), queries, maxK)
+		if err != nil {
+			log.Fatal(err)
+		}
 		elapsed := time.Since(start)
 		log.Printf("batched retrieval: %d queries in %s (%.0f queries/sec)",
 			len(queries), elapsed.Round(time.Millisecond),

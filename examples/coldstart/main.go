@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 		{1, 2, "male, high purchasing power"},
 	} {
 		types := ds.Pop.TypesMatching(demo.gender, -1, demo.power)
-		recs, err := model.RecommendForColdUser(types, 5)
+		recs, err := model.RecommendForColdUser(context.Background(), types, 5)
 		if err != nil {
 			log.Fatal(err)
 		}

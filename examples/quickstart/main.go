@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,11 @@ func main() {
 	//    known only by its side information (Eq. 6).
 	qv := model.ColdStartItemVector(ds.Dict.ItemSI[query])
 	fmt.Println("\nEq. 6 cold-start lookup using only the item's SI:")
-	for i, r := range model.SimilarToVector(qv, 5, func(id int32) bool { return id == query }) {
+	recs, err := model.SimilarToVector(context.Background(), qv, 5, func(id int32) bool { return id == query })
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range recs {
 		it := ds.Catalog.Items[r.ID]
 		fmt.Printf("  #%d item_%-5d score %.3f  (leaf %d)\n", i+1, r.ID, r.Score, it.Leaf)
 	}

@@ -1,0 +1,62 @@
+// Package benchio maintains the repo's bench trajectory files
+// (BENCH_*.json): flat JSON arrays of result rows in which each row's
+// "bench" field names the section it belongs to. Benches rewrite only
+// their own section, so independently re-run benches never clobber each
+// other's numbers — the invariant every BENCH file in this repo relies on.
+package benchio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// UpdateSection replaces the rows of path whose "bench" field equals
+// section with rows (any slice that marshals to a JSON array of objects),
+// preserving every other section and its order. A missing file starts
+// empty; a file that exists but does not parse is an error — never
+// silently clobber a trajectory someone is tracking.
+func UpdateSection(path, section string, rows interface{}) error {
+	var all []json.RawMessage
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &all); err != nil {
+			return fmt.Errorf("existing %s is not a JSON array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	kept := all[:0]
+	for i, raw := range all {
+		var probe struct {
+			Bench string `json:"bench"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return fmt.Errorf("%s row %d is not an object: %w", path, i, err)
+		}
+		if probe.Bench != section {
+			// Compact so MarshalIndent below reformats everything uniformly
+			// instead of stacking indentation on already-indented bytes.
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, raw); err != nil {
+				return fmt.Errorf("%s row %d: %w", path, i, err)
+			}
+			kept = append(kept, json.RawMessage(buf.Bytes()))
+		}
+	}
+
+	nb, err := json.Marshal(rows)
+	if err != nil {
+		return err
+	}
+	var fresh []json.RawMessage
+	if err := json.Unmarshal(nb, &fresh); err != nil {
+		return fmt.Errorf("replacement rows are not a JSON array: %w", err)
+	}
+	out, err := json.MarshalIndent(append(kept, fresh...), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,93 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type row struct {
+	Bench string  `json:"bench"`
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+}
+
+func readRows(t *testing.T, path string) []row {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs []row
+	if err := json.Unmarshal(b, &rs); err != nil {
+		t.Fatalf("%s does not parse: %v\n%s", path, err, b)
+	}
+	return rs
+}
+
+// Rewriting one section must preserve every other section, in order, and
+// a missing file must start empty instead of failing.
+func TestUpdateSectionPreservesOthers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+
+	if err := UpdateSection(path, "a", []row{{Bench: "a", Label: "a1", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateSection(path, "b", []row{{Bench: "b", Label: "b1", Value: 2}, {Bench: "b", Label: "b2", Value: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateSection(path, "a", []row{{Bench: "a", Label: "a2", Value: 9}}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := readRows(t, path)
+	want := []row{{"b", "b1", 2}, {"b", "b2", 3}, {"a", "a2", 9}}
+	if len(got) != len(want) {
+		t.Fatalf("rows %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Unknown fields in preserved sections must survive a rewrite of another
+// section — the helper is generic over row schemas.
+func TestUpdateSectionKeepsForeignFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	seed := `[{"bench":"ann","nprobe":8,"recall_at_10":0.97}]`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateSection(path, "serving", []row{{Bench: "serving", Label: "s", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]interface{}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 2 || raw[0]["nprobe"] != float64(8) || raw[0]["recall_at_10"] != 0.97 {
+		t.Fatalf("foreign section mangled: %s", b)
+	}
+}
+
+// A file that exists but is not a JSON array must be refused, not
+// overwritten.
+func TestUpdateSectionRefusesGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateSection(path, "a", []row{}); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	if b, _ := os.ReadFile(path); string(b) != "not json" {
+		t.Fatalf("garbage file was clobbered: %q", b)
+	}
+}

@@ -17,6 +17,7 @@
 package eges
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -342,9 +343,10 @@ func (m *Model) Index() *knn.Index {
 
 // Similar returns the top-k items most similar to query by cosine over H.
 func (m *Model) Similar(query int32, k int) []knn.Result {
-	return m.Index().Query(m.H.Row(query), knn.Options{
+	rs, _ := m.Index().Query(context.Background(), m.H.Row(query), knn.Options{
 		K:         k,
 		Normalize: true,
 		Skip:      func(id int32) bool { return id == query },
 	})
+	return rs
 }

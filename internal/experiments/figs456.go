@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -105,7 +106,7 @@ func RunFig4(cs *caseStudyModel, out io.Writer) error {
 	recs := make(map[string][]knn.Result, len(groups))
 	for _, gr := range groups {
 		types := ds.Pop.TypesMatching(gr.gender, -1, gr.power)
-		r, err := m.RecommendForColdUser(types, k)
+		r, err := m.RecommendForColdUser(context.Background(), types, k)
 		if err != nil {
 			return fmt.Errorf("fig4 group %s: %w", gr.name, err)
 		}
@@ -235,7 +236,10 @@ func RunFig6(cs *caseStudyModel, out io.Writer) error {
 	for _, id := range warm {
 		trained := m.SimilarItems(id, k)
 		qv := m.ColdStartItemVector(siIDs(ds, id))
-		inferred := m.SimilarToVector(qv, k, func(c int32) bool { return c == id })
+		inferred, err := m.SimilarToVector(context.Background(), qv, k, func(c int32) bool { return c == id })
+		if err != nil {
+			return fmt.Errorf("fig6 warm item %d: %w", id, err)
+		}
 		overlapSum += jaccardTop(trained, inferred, k)
 		coherentTrained += sameTopFraction(ds, id, trained)
 		coherentCold += sameTopFraction(ds, id, inferred)
@@ -255,7 +259,10 @@ func RunFig6(cs *caseStudyModel, out io.Writer) error {
 			break
 		}
 		qv := m.ColdStartItemVector(siIDs(ds, id))
-		recs := m.SimilarToVector(qv, k, func(c int32) bool { return c == id })
+		recs, err := m.SimilarToVector(context.Background(), qv, k, func(c int32) bool { return c == id })
+		if err != nil {
+			return fmt.Errorf("fig6 cold item %d: %w", id, err)
+		}
 		coldCoherent += sameTopFraction(ds, id, recs)
 		nCold++
 	}
@@ -268,7 +275,11 @@ func RunFig6(cs *caseStudyModel, out io.Writer) error {
 		it := ds.Catalog.Items[id]
 		fmt.Fprintf(out, "\nexample cold item item_%d (top %d, leaf %d, brand %d):\n", id, it.Top, it.Leaf, it.Brand)
 		qv := m.ColdStartItemVector(siIDs(ds, id))
-		for i, r := range m.SimilarToVector(qv, 6, func(c int32) bool { return c == id }) {
+		example, err := m.SimilarToVector(context.Background(), qv, 6, func(c int32) bool { return c == id })
+		if err != nil {
+			return fmt.Errorf("fig6 example item %d: %w", id, err)
+		}
+		for i, r := range example {
 			rt := ds.Catalog.Items[r.ID]
 			fmt.Fprintf(out, "  #%d item_%d (top %d, leaf %d, brand %d, score %.3f)\n",
 				i+1, r.ID, rt.Top, rt.Leaf, rt.Brand, r.Score)

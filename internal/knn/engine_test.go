@@ -80,7 +80,7 @@ func TestQueryBitIdenticalToSerialProperty(t *testing.T) {
 			opts.Skip = func(id int32) bool { return id%mod == 0 }
 		}
 		ix := NewIndexSharded(m, 0, false, int(shardRaw%9)+1)
-		got := ix.Query(q, opts)
+		got := queryT(ix, q, opts)
 		want := referenceScan(m, rows, q, opts)
 		if len(got) != len(want) {
 			return false
@@ -114,7 +114,7 @@ func TestQueryShardInvariance(t *testing.T) {
 	want := referenceScan(m, rows, q, Options{K: 33})
 	for _, shards := range []int{1, 2, 3, 4, 7, 16, 1000} {
 		ix := NewIndexSharded(m, 0, false, shards)
-		sameResults(t, "shards", ix.Query(q, Options{K: 33}), want)
+		sameResults(t, "shards", queryT(ix, q, Options{K: 33}), want)
 	}
 }
 
@@ -141,12 +141,12 @@ func TestQueryBatchMatchesSingle(t *testing.T) {
 		{K: 2000}, // k > rows
 	} {
 		ix := NewIndexSharded(m, 0, false, 4)
-		got := ix.QueryBatch(qs, opts)
+		got := queryBatchT(ix, qs, opts)
 		if len(got) != nq {
 			t.Fatalf("batch returned %d result sets", len(got))
 		}
 		for qi := range qs {
-			sameResults(t, "batch-vs-single", got[qi], ix.Query(qs[qi], opts))
+			sameResults(t, "batch-vs-single", got[qi], queryT(ix, qs[qi], opts))
 		}
 	}
 }
@@ -165,10 +165,10 @@ func TestConcurrentQueries(t *testing.T) {
 	for i := range q {
 		q[i] = r.Float32()*2 - 1
 	}
-	want := ix.Query(q, Options{K: 10})
+	want := queryT(ix, q, Options{K: 10})
 	done := make(chan []Result, 16)
 	for g := 0; g < 16; g++ {
-		go func() { done <- ix.Query(q, Options{K: 10, Parallelism: 2}) }()
+		go func() { done <- queryT(ix, q, Options{K: 10, Parallelism: 2}) }()
 	}
 	for g := 0; g < 16; g++ {
 		sameResults(t, "concurrent", <-done, want)
@@ -190,7 +190,7 @@ func TestTieBreakDeterminism(t *testing.T) {
 	q := []float32{1, 2, 3, 4}
 	for _, shards := range []int{1, 3, 8} {
 		ix := NewIndexSharded(m, 0, false, shards)
-		got := ix.Query(q, Options{K: 10})
+		got := queryT(ix, q, Options{K: 10})
 		if len(got) != 10 {
 			t.Fatalf("shards=%d: %d results", shards, len(got))
 		}
@@ -214,10 +214,10 @@ func TestDeprecatedWrappersDelegate(t *testing.T) {
 
 	sameResults(t, "Search",
 		ix.Search(q, 7, func(id int32) bool { return id == 3 }),
-		ix.Query(q, Options{K: 7, Skip: func(id int32) bool { return id == 3 }}))
+		queryT(ix, q, Options{K: 7, Skip: func(id int32) bool { return id == 3 }}))
 	sameResults(t, "SearchNormalized",
 		ix.SearchNormalized(q, 7, nil),
-		ix.Query(q, Options{K: 7, Normalize: true}))
+		queryT(ix, q, Options{K: 7, Normalize: true}))
 
 	queries := [][]float32{m.Row(0), m.Row(1), m.Row(2)}
 	batch := ix.SearchBatch(queries, 4, func(qi int, id int32) bool { return int32(qi) == id })
@@ -225,7 +225,7 @@ func TestDeprecatedWrappersDelegate(t *testing.T) {
 		self := int32(qi)
 		sameResults(t, "SearchBatch",
 			batch[qi],
-			ix.Query(queries[qi], Options{K: 4, Skip: func(id int32) bool { return id == self }}))
+			queryT(ix, queries[qi], Options{K: 4, Skip: func(id int32) bool { return id == self }}))
 	}
 }
 
@@ -244,7 +244,7 @@ func BenchmarkQuerySharded50k(b *testing.B) {
 		ix := NewIndexSharded(m, 0, false, shards)
 		b.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ix.Query(q, Options{K: 20})
+				queryT(ix, q, Options{K: 20})
 			}
 		})
 	}
@@ -267,6 +267,6 @@ func BenchmarkQueryBatch50k(b *testing.B) {
 	ix := NewIndex(m, 0, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.QueryBatch(qs, Options{K: 20})
+		queryBatchT(ix, qs, Options{K: 20})
 	}
 }

@@ -1,0 +1,22 @@
+package knn
+
+import "context"
+
+// queryT and queryBatchT are the uncancellable spellings tests use when
+// cancellation is not the thing under test: Background context, panic on
+// error (impossible without cancellation).
+func queryT(ix *Index, q []float32, opts Options) []Result {
+	rs, err := ix.Query(context.Background(), q, opts)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+func queryBatchT(ix *Index, qs [][]float32, opts Options) [][]Result {
+	rs, err := ix.QueryBatch(context.Background(), qs, opts)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}

@@ -18,6 +18,7 @@
 package knn
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -203,26 +204,39 @@ func (iv *ivfIndex) assignRows(assign []int32, halfNorm []float32, data []float3
 }
 
 // queryIVF answers one prepared (already normalized if requested) query
-// through the IVF layer.
-func (ix *Index) queryIVF(q []float32, opts Options) []Result {
+// through the IVF layer. The context is checked between the probe,
+// shortlist and re-rank stages and once per candidate tile inside each.
+func (ix *Index) queryIVF(ctx context.Context, q []float32, opts Options) ([]Result, error) {
 	iv := ix.ivfLayer()
 	cands := iv.candidates(q, opts.NProbe)
+	ix.tiles.Add(uint64(1 + (iv.nlist-1)/blockRows)) // centroid scoring pass
 	if opts.Quantized {
-		cands = iv.quantShortlist(cands, q, opts)
+		var err error
+		cands, err = ix.quantShortlist(ctx, iv, cands, q, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return ix.rerank(cands, q, opts.K, opts.Skip)
+	return ix.rerank(ctx, cands, q, opts.K, opts.Skip)
 }
 
 // queryBatchIVF runs queryIVF per query on a bounded worker pool. Queries
-// are independent, so parallelism affects speed only.
-func (ix *Index) queryBatchIVF(prepared [][]float32, opts Options, out [][]Result) [][]Result {
+// are independent, so parallelism affects speed only. On cancellation the
+// whole batch fails with one error; workers drain the query counter
+// without scanning once any query errors.
+func (ix *Index) queryBatchIVF(ctx context.Context, prepared [][]float32, opts Options, out [][]Result) ([][]Result, error) {
 	workers := opts.effectiveWorkers(len(prepared))
 	if workers == 1 {
 		for qi, q := range prepared {
-			out[qi] = ix.queryIVF(q, opts)
+			rs, err := ix.queryIVF(ctx, q, opts)
+			if err != nil {
+				return nil, err
+			}
+			out[qi] = rs
 		}
-		return out
+		return out, nil
 	}
+	var failed atomic.Bool
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
@@ -235,12 +249,78 @@ func (ix *Index) queryBatchIVF(prepared [][]float32, opts Options, out [][]Resul
 				if qi >= len(prepared) {
 					return
 				}
-				out[qi] = ix.queryIVF(prepared[qi], opts)
+				if failed.Load() {
+					continue
+				}
+				rs, err := ix.queryIVF(ctx, prepared[qi], opts)
+				if err != nil {
+					failed.Store(true)
+					continue
+				}
+				out[qi] = rs
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	if failed.Load() {
+		return nil, canceledErr(ctx.Err())
+	}
+	return out, nil
+}
+
+// PredictedCost estimates the scan work one Query with opts will perform,
+// in multiply-accumulate units (rows × dims touched). It is the admission
+// currency of the serving tier: a flat scan costs rows·dim; an IVF probe
+// costs the centroid pass plus the expected fraction of rows its probe
+// width reaches (quantized shortlists count at a quarter weight — int8
+// traffic — plus the exact re-rank of the kept shortlist). The estimate
+// is derived from index geometry only (it mirrors buildIVF's nlist
+// formula) and never forces the lazy IVF build.
+func (ix *Index) PredictedCost(opts Options) int64 {
+	if opts.K <= 0 || ix.rows == 0 {
+		return 0
+	}
+	rows, dim := int64(ix.rows), int64(ix.mat.Dim)
+	flat := rows * dim
+	if !opts.wantIVF() {
+		return flat
+	}
+	nlist := int64(math.Sqrt(float64(rows)) + 0.5)
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nlist > rows {
+		nlist = rows
+	}
+	np := int64(opts.NProbe)
+	if np <= 0 {
+		np = int64(defaultNProbe(int(nlist)))
+	}
+	if np > nlist {
+		np = nlist
+	}
+	// Expected candidates under a uniform cluster-size model.
+	cand := rows * np / nlist
+	cost := nlist * dim // centroid scoring
+	if opts.Quantized {
+		keep := int64(opts.K * rerankFactor)
+		if keep < rerankMin {
+			keep = rerankMin
+		}
+		if keep > cand {
+			keep = cand
+		}
+		cost += cand*dim/4 + keep*dim // int8 pre-screen + exact re-rank
+	} else {
+		cost += cand * dim
+	}
+	if cost > flat {
+		cost = flat
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
 }
 
 // candidates returns the posting lists of the nprobe most promising
@@ -285,8 +365,9 @@ func (iv *ivfIndex) candidates(q []float32, nprobe int) [][]int32 {
 // quantShortlist pre-screens candidates with int8 quantized dot products,
 // keeping the max(rerankFactor*K, rerankMin) best under the total order
 // for the exact re-rank. Quantized scores only ever decide membership of
-// the re-rank set; they are never served.
-func (iv *ivfIndex) quantShortlist(lists [][]int32, q []float32, opts Options) [][]int32 {
+// the re-rank set; they are never served. The context is checked once per
+// blockRows candidates (a tile unit of work, counted on ix.tiles).
+func (ix *Index) quantShortlist(ctx context.Context, iv *ivfIndex, lists [][]int32, q []float32, opts Options) ([][]int32, error) {
 	total := 0
 	for _, l := range lists {
 		total += len(l)
@@ -296,14 +377,22 @@ func (iv *ivfIndex) quantShortlist(lists [][]int32, q []float32, opts Options) [
 		keep = rerankMin
 	}
 	if keep >= total {
-		return lists
+		return lists, nil
 	}
 	qc := make([]int8, len(q))
 	qs := vecmath.QuantizeRow(qc, q)
 	h := make(minHeap, 0, keep)
 	dim := iv.dim
+	seen := 0
 	for _, l := range lists {
 		for _, id := range l {
+			if seen%blockRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, canceledErr(err)
+				}
+				ix.tiles.Add(1)
+			}
+			seen++
 			if opts.Skip != nil && opts.Skip(id) {
 				continue
 			}
@@ -316,7 +405,7 @@ func (iv *ivfIndex) quantShortlist(lists [][]int32, q []float32, opts Options) [
 		ids[i] = r.ID
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return [][]int32{ids}
+	return [][]int32{ids}, nil
 }
 
 // rerank scores candidate rows exactly, each with one DotRows call on the
@@ -324,14 +413,22 @@ func (iv *ivfIndex) quantShortlist(lists [][]int32, q []float32, opts Options) [
 // to what the flat scan's tiled call computes for the same row — then
 // selects under the canonical total order. No gather copy: approximate
 // retrieval must not pay more memory traffic per candidate than the scan
-// it replaces.
-func (ix *Index) rerank(lists [][]int32, q []float32, k int, skip func(int32) bool) []Result {
+// it replaces. The context is checked once per blockRows candidates.
+func (ix *Index) rerank(ctx context.Context, lists [][]int32, q []float32, k int, skip func(int32) bool) ([]Result, error) {
 	dim := ix.mat.Dim
 	data := ix.mat.Data()
 	var score [1]float32
 	h := make(minHeap, 0, k)
+	seen := 0
 	for _, l := range lists {
 		for _, id := range l {
+			if seen%blockRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, canceledErr(err)
+				}
+				ix.tiles.Add(1)
+			}
+			seen++
 			if skip != nil && skip(id) {
 				continue
 			}
@@ -339,5 +436,5 @@ func (ix *Index) rerank(lists [][]int32, q []float32, k int, skip func(int32) bo
 			pushBounded(&h, Result{ID: id, Score: score[0]}, k)
 		}
 	}
-	return mergeTopK([]minHeap{h}, k)
+	return mergeTopK([]minHeap{h}, k), nil
 }

@@ -50,8 +50,8 @@ func TestIVFExhaustiveBitIdenticalToFlat(t *testing.T) {
 		if withSkip {
 			skip = func(id int32) bool { return id%5 == int32(seed%5) }
 		}
-		flat := ix.Query(q, Options{K: k, Normalize: normalize, Skip: skip})
-		ivf := ix.Query(q, Options{
+		flat := queryT(ix, q, Options{K: k, Normalize: normalize, Skip: skip})
+		ivf := queryT(ix, q, Options{
 			K: k, Normalize: normalize, Skip: skip,
 			Index: IndexIVF, NProbe: rows + 1, // >= nlist: exhaustive
 		})
@@ -71,8 +71,8 @@ func TestIVFQuantizedExhaustiveSmallIsExact(t *testing.T) {
 	m := randomMatrix(rows, dim, 11)
 	ix := NewIndex(m, rows, false)
 	q := randomMatrix(1, dim, 13).Row(0)
-	flat := ix.Query(q, Options{K: k})
-	ivf := ix.Query(q, Options{K: k, Index: IndexIVF, NProbe: rows, Quantized: true})
+	flat := queryT(ix, q, Options{K: k})
+	ivf := queryT(ix, q, Options{K: k, Index: IndexIVF, NProbe: rows, Quantized: true})
 	sameResults(t, "quantized exhaustive", ivf, flat)
 }
 
@@ -93,8 +93,8 @@ func TestIVFRecallOnClusteredData(t *testing.T) {
 			for d := range q {
 				q[d] = src[d] + float32(r.NormFloat64())*0.05
 			}
-			truth := ix.Query(q, Options{K: k})
-			got := ix.Query(q, Options{K: k, Index: IndexIVF, Quantized: quantized})
+			truth := queryT(ix, q, Options{K: k})
+			got := queryT(ix, q, Options{K: k, Index: IndexIVF, Quantized: quantized})
 			inTruth := make(map[int32]bool, len(truth))
 			for _, res := range truth {
 				inTruth[res.ID] = true
@@ -126,11 +126,11 @@ func TestIVFBatchMatchesSingle(t *testing.T) {
 	opts := Options{K: k, Index: IndexIVF, NProbe: 3, Quantized: true}
 	single := make([][]Result, nq)
 	for i, q := range qs {
-		single[i] = ix.Query(q, opts)
+		single[i] = queryT(ix, q, opts)
 	}
 	for _, par := range []int{1, 4} {
 		opts.Parallelism = par
-		batch := ix.QueryBatch(qs, opts)
+		batch := queryBatchT(ix, qs, opts)
 		for i := range batch {
 			sameResults(t, fmt.Sprintf("par=%d query %d", par, i), batch[i], single[i])
 		}
@@ -146,14 +146,14 @@ func TestIVFConcurrentFirstBuild(t *testing.T) {
 	ix := NewIndex(m, rows, false)
 	q := randomMatrix(1, dim, 77).Row(0)
 	opts := Options{K: k, Index: IndexIVF, NProbe: rows} // exhaustive: answer is known
-	want := NewIndex(m, rows, false).Query(q, Options{K: k})
+	want := queryT(NewIndex(m, rows, false), q, Options{K: k})
 	var wg sync.WaitGroup
 	got := make([][]Result, 16)
 	for g := range got {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			got[g] = ix.Query(q, opts)
+			got[g] = queryT(ix, q, opts)
 		}(g)
 	}
 	wg.Wait()

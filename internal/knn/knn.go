@@ -27,13 +27,23 @@
 // one answer no matter how the scan is partitioned or which candidates an
 // IVF probe surfaces.
 //
-// The single entry points are Query and QueryBatch, both taking Options;
-// Search, SearchNormalized and SearchBatch are deprecated wrappers kept
-// for source compatibility.
+// Cancellation: Query and QueryBatch take a context.Context, checked at
+// tile and shard boundaries (one tile is 256 rows), so a serving timeout
+// or a client disconnect stops the scan within one tile of work instead of
+// burning CPU on an answer nobody will read. A cancelled call returns an
+// error wrapping both ErrCanceled and the context's own error; a call that
+// completes is bit-identical to an uncancellable one — the checks only
+// ever decide whether to keep going, never what a kept result contains.
+//
+// The single entry points are Query and QueryBatch, both taking a context
+// and Options; Search, SearchNormalized and SearchBatch are deprecated
+// uncancellable wrappers kept for source compatibility.
 package knn
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -43,6 +53,21 @@ import (
 	"sisg/internal/emb"
 	"sisg/internal/vecmath"
 )
+
+// ErrCanceled is the sentinel wrapped by every error a cancelled Query or
+// QueryBatch returns. The returned error also wraps the context's own
+// error, so callers can distinguish a client that went away
+// (context.Canceled) from a deadline that fired (context.DeadlineExceeded)
+// with errors.Is on either.
+var ErrCanceled = errors.New("knn: query canceled")
+
+// canceledErr wraps a non-nil context error in the package sentinel.
+func canceledErr(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
 
 // Result is one retrieved neighbour.
 type Result struct {
@@ -149,6 +174,13 @@ type Index struct {
 	rows   int
 	shards []span
 
+	// tiles counts scan work actually performed, in tile units (one unit
+	// is one kernel pass over up to blockRows rows, or the IVF
+	// equivalent). It exists so cancellation is *provable*: a test or a
+	// serving metric can assert that a cancelled query stopped scanning
+	// instead of trusting that it did.
+	tiles atomic.Uint64
+
 	ivfOnce sync.Once
 	ivf     *ivfIndex
 }
@@ -199,25 +231,49 @@ func (ix *Index) Rows() int { return ix.rows }
 // Shards returns the number of row shards.
 func (ix *Index) Shards() int { return len(ix.shards) }
 
+// Dim returns the embedding dimensionality of the indexed rows.
+func (ix *Index) Dim() int { return ix.mat.Dim }
+
+// TilesScanned returns the cumulative scan work this index has performed,
+// in tile units (one unit ≈ one kernel pass over up to 256 rows). The
+// counter is monotone and safe to read concurrently; the difference across
+// a call bounds the work that call did — which is how tests prove a
+// cancelled query stopped scanning.
+func (ix *Index) TilesScanned() uint64 { return ix.tiles.Load() }
+
 // Query returns the top-K rows by dot product with q under the total
 // order (score desc, id asc), honouring opts. The query slice is
 // read-only. Results are bit-identical to a serial scan regardless of
 // sharding and parallelism.
-func (ix *Index) Query(q []float32, opts Options) []Result {
+//
+// ctx is checked at tile and shard boundaries: when it is cancelled the
+// call stops scanning within one tile per worker and returns an error
+// wrapping ErrCanceled and ctx.Err(). A nil result with a nil error means
+// the query asked for nothing (K <= 0 or an empty index).
+func (ix *Index) Query(ctx context.Context, q []float32, opts Options) ([]Result, error) {
 	if opts.K <= 0 || ix.rows == 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
 	}
 	q = ix.prepared(q, opts)
 	if opts.wantIVF() {
-		return ix.queryIVF(q, opts)
+		return ix.queryIVF(ctx, q, opts)
 	}
 	per := make([]minHeap, len(ix.shards))
-	ix.fanOut(opts.effectiveWorkers(len(ix.shards)), func(si int, buf []float32) {
+	err := ix.fanOut(ctx, opts.effectiveWorkers(len(ix.shards)), func(si int, buf []float32) error {
 		h := make(minHeap, 0, opts.K)
-		ix.scanShard(&h, buf, q, ix.shards[si], opts.K, opts.Skip)
+		if err := ix.scanShard(ctx, &h, buf, q, ix.shards[si], opts.K, opts.Skip); err != nil {
+			return err
+		}
 		per[si] = h
+		return nil
 	})
-	return mergeTopK(per, opts.K)
+	if err != nil {
+		return nil, err
+	}
+	return mergeTopK(per, opts.K), nil
 }
 
 // QueryBatch runs Query for every query in qs under one shared Options
@@ -225,22 +281,26 @@ func (ix *Index) Query(q []float32, opts Options) []Result {
 // each scan tile of rows is streamed once and scored against every query
 // while it is cache-resident, so a batch costs far less memory traffic
 // than len(qs) single queries. Results are bit-identical to len(qs)
-// independent Query calls.
-func (ix *Index) QueryBatch(qs [][]float32, opts Options) [][]Result {
+// independent Query calls. Cancellation follows Query: checked per tile,
+// the whole batch fails with one error wrapping ErrCanceled.
+func (ix *Index) QueryBatch(ctx context.Context, qs [][]float32, opts Options) ([][]Result, error) {
 	out := make([][]Result, len(qs))
 	if opts.K <= 0 || ix.rows == 0 || len(qs) == 0 {
-		return out
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
 	}
 	prepared := make([][]float32, len(qs))
 	for i, q := range qs {
 		prepared[i] = ix.prepared(q, opts)
 	}
 	if opts.wantIVF() {
-		return ix.queryBatchIVF(prepared, opts, out)
+		return ix.queryBatchIVF(ctx, prepared, opts, out)
 	}
 	// per[si][qi] is query qi's top-k heap over shard si.
 	per := make([][]minHeap, len(ix.shards))
-	ix.fanOut(opts.effectiveWorkers(len(ix.shards)), func(si int, buf []float32) {
+	err := ix.fanOut(ctx, opts.effectiveWorkers(len(ix.shards)), func(si int, buf []float32) error {
 		hs := make([]minHeap, len(prepared))
 		for qi := range hs {
 			hs[qi] = make(minHeap, 0, opts.K)
@@ -249,6 +309,9 @@ func (ix *Index) QueryBatch(qs [][]float32, opts Options) [][]Result {
 		dim := ix.mat.Dim
 		data := ix.mat.Data()
 		for b := sp.lo; b < sp.hi; b += blockRows {
+			if err := ctx.Err(); err != nil {
+				return canceledErr(err)
+			}
 			n := min(blockRows, sp.hi-b)
 			block := data[b*dim : (b+n)*dim : (b+n)*dim]
 			for qi, q := range prepared {
@@ -256,9 +319,14 @@ func (ix *Index) QueryBatch(qs [][]float32, opts Options) [][]Result {
 				vecmath.DotRows(scores, block, q)
 				sift(&hs[qi], scores, int32(b), opts.K, opts.Skip)
 			}
+			ix.tiles.Add(uint64(len(prepared)))
 		}
 		per[si] = hs
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	shardHeaps := make([]minHeap, len(ix.shards))
 	for qi := range out {
 		for si := range per {
@@ -266,7 +334,7 @@ func (ix *Index) QueryBatch(qs [][]float32, opts Options) [][]Result {
 		}
 		out[qi] = mergeTopK(shardHeaps, opts.K)
 	}
-	return out
+	return out, nil
 }
 
 // prepared returns the query to scan with: the caller's slice as-is, or a
@@ -298,14 +366,21 @@ func (o Options) effectiveWorkers(shards int) int {
 
 // fanOut runs work(shardIndex, scratch) for every shard on up to workers
 // goroutines. Each worker owns one scratch score buffer for its lifetime.
-func (ix *Index) fanOut(workers int, work func(si int, buf []float32)) {
+// When any work call errors, remaining shards are skipped (workers drain
+// the shard counter without scanning) and the call returns one error
+// derived from ctx — every error path here is a cancellation, so the
+// context is the authority on why.
+func (ix *Index) fanOut(ctx context.Context, workers int, work func(si int, buf []float32) error) error {
 	if workers == 1 {
 		buf := make([]float32, blockRows)
 		for si := range ix.shards {
-			work(si, buf)
+			if err := work(si, buf); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
+	var failed atomic.Bool
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
@@ -319,26 +394,41 @@ func (ix *Index) fanOut(workers int, work func(si int, buf []float32)) {
 				if si >= len(ix.shards) {
 					return
 				}
-				work(si, buf)
+				if failed.Load() {
+					continue // drain remaining shards without scanning
+				}
+				if err := work(si, buf); err != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if failed.Load() {
+		return canceledErr(ctx.Err())
+	}
+	return nil
 }
 
 // scanShard reduces one shard into h: scores are computed one tile at a
 // time by the blocked kernel, then folded into the k-bounded min-heap in
 // ascending row order (which keeps tie handling identical to a serial
-// scan).
-func (ix *Index) scanShard(h *minHeap, buf []float32, q []float32, sp span, k int, skip func(int32) bool) {
+// scan). The context is checked once per tile — cancellation abandons the
+// shard within one tile of work.
+func (ix *Index) scanShard(ctx context.Context, h *minHeap, buf []float32, q []float32, sp span, k int, skip func(int32) bool) error {
 	dim := ix.mat.Dim
 	data := ix.mat.Data()
 	for b := sp.lo; b < sp.hi; b += blockRows {
+		if err := ctx.Err(); err != nil {
+			return canceledErr(err)
+		}
 		n := min(blockRows, sp.hi-b)
 		scores := buf[:n]
 		vecmath.DotRows(scores, data[b*dim:(b+n)*dim:(b+n)*dim], q)
 		sift(h, scores, int32(b), k, skip)
+		ix.tiles.Add(1)
 	}
+	return nil
 }
 
 // better reports whether a beats b under the engine's canonical total
@@ -439,14 +529,16 @@ func sortResults(rs []Result) {
 //
 // Deprecated: use Query with Options{K: k, Skip: skip}.
 func (ix *Index) Search(query []float32, k int, skip func(int32) bool) []Result {
-	return ix.Query(query, Options{K: k, Skip: skip})
+	rs, _ := ix.Query(context.Background(), query, Options{K: k, Skip: skip})
+	return rs
 }
 
 // SearchNormalized is Search with the query L2-normalized first.
 //
 // Deprecated: use Query with Options{K: k, Normalize: true, Skip: skip}.
 func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool) []Result {
-	return ix.Query(query, Options{K: k, Normalize: true, Skip: skip})
+	rs, _ := ix.Query(context.Background(), query, Options{K: k, Normalize: true, Skip: skip})
+	return rs
 }
 
 // SearchBatch runs Search for many queries and returns results in query
@@ -456,12 +548,13 @@ func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool)
 // signature; for per-query exclusion query k+1 and drop the known id.
 func (ix *Index) SearchBatch(queries [][]float32, k int, skip func(int, int32) bool) [][]Result {
 	if skip == nil {
-		return ix.QueryBatch(queries, Options{K: k})
+		out, _ := ix.QueryBatch(context.Background(), queries, Options{K: k})
+		return out
 	}
 	out := make([][]Result, len(queries))
 	for i := range queries {
 		qi := i
-		out[i] = ix.Query(queries[i], Options{K: k, Skip: func(id int32) bool { return skip(qi, id) }})
+		out[i], _ = ix.Query(context.Background(), queries[i], Options{K: k, Skip: func(id int32) bool { return skip(qi, id) }})
 	}
 	return out
 }

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is returned by retrieval paths refused by the admission
+// controller; the error mapper answers it with 503 overloaded plus a
+// load-derived Retry-After.
+var errShed = errors.New("server: admission budget exhausted")
+
+// admission is the cost-based concurrency limiter of the read path. Where
+// a flat request counter treats a k=5 IVF probe and a k=1000 exact scan
+// over 25M rows as equal load, admission charges each request its
+// *predicted* scan cost (knn.Index.PredictedCost: rows×dims touched) and
+// bounds the total outstanding cost. Excess load is shed immediately —
+// queueing under overload only converts shed into timeout.
+type admission struct {
+	budget   int64
+	inflight atomic.Int64 // predicted cost currently admitted
+}
+
+// tryAcquire admits cost units of work, or reports false to shed. An idle
+// controller always admits one request even when its cost alone exceeds
+// the budget — otherwise a single over-budget query could never run and
+// would starve forever rather than merely serialize.
+func (a *admission) tryAcquire(cost int64) bool {
+	for {
+		cur := a.inflight.Load()
+		if cur+cost > a.budget && cur != 0 {
+			return false
+		}
+		if a.inflight.CompareAndSwap(cur, cur+cost) {
+			return true
+		}
+	}
+}
+
+// release returns admitted cost. Callers must pass the exact cost they
+// acquired.
+func (a *admission) release(cost int64) { a.inflight.Add(-cost) }
+
+// pressure is the admitted fraction of the budget (may exceed 1 when an
+// over-budget query was admitted while idle). It is the signal brownout
+// and Retry-After derivation key on.
+func (a *admission) pressure() float64 {
+	return float64(a.inflight.Load()) / float64(a.budget)
+}

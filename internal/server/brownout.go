@@ -1,0 +1,85 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sisg/internal/metrics"
+)
+
+// brownout is the accuracy-for-availability state machine of /v1/similar:
+// under sustained pressure it downgrades the default exact flat scan to
+// the IVF index (whose predicted cost is a fraction of flat, so the same
+// admission budget serves many times the request rate), and recovers once
+// pressure stays low. Degraded responses carry "X-Degraded: ivf" and the
+// state is visible in /v1/stats — shedding accuracy is a contract change
+// the client is told about, never a silent one.
+//
+// Both transitions require their condition to hold for a full hold window
+// (hysteresis in time) and the enter/exit thresholds are far apart
+// (hysteresis in level), so a load spike cannot make the server flap
+// between exact and approximate answers on alternating requests.
+type brownout struct {
+	highWater float64       // pressure at or above this is "hot"
+	lowWater  float64       // pressure at or below this is "cool"
+	latHigh   float64       // seconds; EWMA latency at or above this is "hot"
+	hold      time.Duration // how long a condition must persist to transition
+
+	degraded atomic.Bool
+
+	mu           sync.Mutex
+	pendingSince time.Time // start of the currently persisting condition
+
+	entered *metrics.Counter
+	exited  *metrics.Counter
+}
+
+// observe feeds one load sample (admission pressure and the latency EWMA,
+// in seconds) into the state machine. It is called on every retrieval
+// completion and every shed, so under the loads where transitions matter
+// it is evaluated constantly.
+func (b *brownout) observe(now time.Time, pressure, ewmaSeconds float64) {
+	hot := pressure >= b.highWater || (ewmaSeconds > 0 && ewmaSeconds >= b.latHigh)
+	cool := pressure <= b.lowWater && ewmaSeconds < b.latHigh
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur := b.degraded.Load()
+	want := hot
+	if cur {
+		want = !cool // stay degraded in the dead band between the waters
+	}
+	if want == cur {
+		// Only a sample past the OPPOSITE threshold disarms a pending
+		// transition; dead-band samples leave it armed. This matters under
+		// saturation: admission admits scans in waves, and the last
+		// completions of each wave observe the trough between waves — if
+		// those dips disarmed the hold clock, a fully saturated server
+		// would never accumulate a hold window of "hot". A transition
+		// still only FIRES on a sample past its own threshold, so entry
+		// needs hot at both ends of a hold window with no cool inside it
+		// (and exit the mirror image).
+		if (!cur && cool) || (cur && hot) {
+			b.pendingSince = time.Time{}
+		}
+		return
+	}
+	if b.pendingSince.IsZero() {
+		b.pendingSince = now
+		return
+	}
+	if now.Sub(b.pendingSince) < b.hold {
+		return
+	}
+	b.degraded.Store(want)
+	b.pendingSince = time.Time{}
+	if want {
+		b.entered.Inc()
+	} else {
+		b.exited.Inc()
+	}
+}
+
+// active reports whether serving is currently degraded.
+func (b *brownout) active() bool { return b.degraded.Load() }

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
+
+	"sisg/internal/knn"
 )
 
 // A panicking handler must be answered with a 500 and counted, never kill
@@ -34,35 +37,33 @@ func TestPanicRecovery(t *testing.T) {
 	}
 }
 
-// Requests beyond MaxInFlight are shed with 503 + Retry-After while the
-// admitted request proceeds.
+// Retrievals whose predicted cost does not fit the remaining admission
+// budget are shed with 503 + Retry-After while the admitted scan proceeds.
 func TestConcurrencyLimiterSheds(t *testing.T) {
-	s, _ := testServer(t)
-	s.cfg.MaxInFlight = 1
-	s.sem = make(chan struct{}, 1)
+	s, ts := testServer(t)
+	s.adm = &admission{budget: s.flatCost()} // room for exactly one flat scan
 
 	inside := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	h := s.withLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	s.retrieve = func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
 		once.Do(func() { close(inside) })
 		<-release
-		w.WriteHeader(http.StatusOK)
-	}))
-	ts := httptest.NewServer(h)
-	defer ts.Close()
+		return nil, nil
+	}
 
 	errc := make(chan error, 1)
 	go func() {
-		resp, err := http.Get(ts.URL)
+		resp, err := http.Get(ts.URL + "/v1/similar?item=1&k=5")
 		if err == nil {
 			resp.Body.Close()
 		}
 		errc <- err
 	}()
-	<-inside // the slot is now occupied
+	<-inside // the whole budget is now held by the blocked scan
 
-	resp, err := http.Get(ts.URL)
+	// A different item (so single-flight cannot coalesce it) must shed.
+	resp, err := http.Get(ts.URL + "/v1/similar?item=2&k=5")
 	if err != nil {
 		t.Fatal(err)
 	}

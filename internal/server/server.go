@@ -21,6 +21,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,7 +56,19 @@ type Stats struct {
 	ColdUser     uint64 `json:"cold_user"`
 	ClientErrors uint64 `json:"client_errors"`
 	Panics       uint64 `json:"panics"` // requests answered 500 after a recovered handler panic
-	Shed         uint64 `json:"shed"`   // requests answered 503 by the concurrency limiter
+	Shed         uint64 `json:"shed"`   // requests answered 503 by the admission controller
+	// Coalesced counts requests answered by sharing another identical
+	// in-flight retrieval (single-flight followers).
+	Coalesced uint64 `json:"coalesced"`
+	// Canceled counts retrievals abandoned because the client went away;
+	// they are answered 499, never counted as server errors.
+	Canceled uint64 `json:"canceled"`
+	// Degraded reports whether /v1/similar is currently in brownout
+	// (default scans downgraded from exact flat to IVF).
+	Degraded bool `json:"degraded"`
+	// BrownoutEntered/Exited count brownout transitions in each direction.
+	BrownoutEntered uint64 `json:"brownout_entered"`
+	BrownoutExited  uint64 `json:"brownout_exited"`
 }
 
 // Config tunes the hardening envelope around the handlers. The zero value
@@ -64,16 +77,44 @@ type Config struct {
 	// MaxK bounds the candidate-set size a single request may ask for
 	// (<=0 means 1000).
 	MaxK int
-	// MaxInFlight bounds concurrently executing requests; excess load is
-	// shed immediately with 503 + Retry-After instead of queueing until
-	// everything is slow (<=0 means 256).
+	// MaxInFlight sizes the default admission budget: CostBudget defaults
+	// to MaxInFlight concurrent full flat scans' worth of predicted cost
+	// (<=0 means 256). Cheap requests (IVF probes, small corpora) pack
+	// many-per-scan into the same budget; see CostBudget.
 	MaxInFlight int
 	// RequestTimeout bounds one request's handling time; a request that
-	// exceeds it is answered 503 (<=0 means 10s).
+	// exceeds it is answered 503 and its retrieval scan is cancelled at
+	// the next tile boundary (<=0 means 10s).
 	RequestTimeout time.Duration
-	// RetryAfter is the back-off advertised on shed responses, rounded up
-	// to whole seconds (<=0 means 1s).
+	// RetryAfter floors the back-off advertised on shed responses. The
+	// advertised value is derived per shed from the latency EWMA and
+	// admission pressure, with deterministic per-request jitter, and never
+	// falls below this (<=0 means 1s).
 	RetryAfter time.Duration
+	// CostBudget bounds the total *predicted* retrieval cost (rows×dims
+	// scan units, knn.Index.PredictedCost) admitted concurrently; excess
+	// is shed with 503 + Retry-After. <=0 derives MaxInFlight × the cost
+	// of one full flat scan over the item index.
+	CostBudget int64
+	// BrownoutNProbe is the IVF probe width degraded /v1/similar scans use
+	// under brownout (<=0 means the engine default of about sqrt(nlist)).
+	BrownoutNProbe int
+	// BrownoutHighWater and BrownoutLowWater are the admission-pressure
+	// thresholds (fractions of CostBudget) for entering and leaving
+	// brownout; wide hysteresis prevents flapping. <=0 mean 0.75 and 0.25.
+	BrownoutHighWater float64
+	BrownoutLowWater  float64
+	// BrownoutLatency is the retrieval-latency EWMA above which the server
+	// counts as hot even at low pressure (<=0 means RequestTimeout/4).
+	BrownoutLatency time.Duration
+	// BrownoutHold is how long an enter/exit condition must persist before
+	// the transition fires (<=0 means 1s).
+	BrownoutHold time.Duration
+	// RetrievalDelay pads every retrieval scan with a cancellable sleep.
+	// It exists for load tests and CI smoke runs, which need scans slow
+	// enough to produce deterministic coalescing and shedding on a tiny
+	// corpus; production configs leave it zero.
+	RetrievalDelay time.Duration
 	// Metrics is the registry the server instruments itself on. Nil means
 	// a private registry; pass a shared one to co-locate serving and
 	// training series in a single /metrics page.
@@ -100,6 +141,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.BrownoutHighWater <= 0 {
+		c.BrownoutHighWater = 0.75
+	}
+	if c.BrownoutLowWater <= 0 {
+		c.BrownoutLowWater = 0.25
+	}
+	if c.BrownoutLatency <= 0 {
+		c.BrownoutLatency = c.RequestTimeout / 4
+	}
+	if c.BrownoutHold <= 0 {
+		c.BrownoutHold = time.Second
+	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
@@ -119,7 +172,21 @@ type Server struct {
 	model *sisg.Model
 	maxK  int
 	cfg   Config
-	sem   chan struct{} // concurrency limiter; holds MaxInFlight tokens
+	index *knn.Index // the item index, built eagerly at construction
+
+	adm     *admission     // cost-based concurrency limiter
+	flights [2]flightGroup // single-flight groups: [0] exact, [1] degraded
+	brown   *brownout
+	lat     *metrics.EWMA // retrieval latency EWMA, seconds
+	press   *metrics.EWMA // admission pressure EWMA, 0..~1
+
+	// retrieve is the seam overload tests hook: it defaults to the model's
+	// SimilarItemsOpts (plus the configured RetrievalDelay) and is only
+	// ever replaced inside this package's tests.
+	retrieve func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error)
+
+	inflightReqs atomic.Int64  // requests currently executing (all endpoints)
+	shedSeq      atomic.Uint64 // per-shed sequence feeding Retry-After jitter
 
 	// notReady inverts readiness so the zero value (and every existing
 	// constructor call) starts ready. /healthz keeps answering 200 while
@@ -135,6 +202,11 @@ type Server struct {
 	clientErrors *metrics.Counter
 	panics       *metrics.Counter
 	shed         *metrics.Counter
+	coalesced    *metrics.Counter
+	canceled     *metrics.Counter
+	timeouts     *metrics.Counter
+	brownEntered *metrics.Counter
+	brownExited  *metrics.Counter
 
 	endpoints map[string]*endpointMetrics
 
@@ -170,17 +242,48 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 	reg := cfg.Metrics
 	s := &Server{
 		ds: ds, model: model, maxK: cfg.MaxK, cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInFlight),
-		reg: reg,
+		// Build the item index now: lazy first-request builds would race
+		// under concurrent traffic and distort first-request latency.
+		index: model.ItemIndex(),
+		reg:   reg,
 
 		similar:      reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/similar")),
 		coldItem:     reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/coldstart/item")),
 		coldUser:     reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/coldstart/user")),
 		clientErrors: reg.Counter("http_client_errors_total", "requests rejected 400 for malformed input"),
 		panics:       reg.Counter("http_panics_total", "requests answered 500 after a recovered handler panic"),
-		shed:         reg.Counter("http_shed_total", "requests answered 503 by the concurrency limiter"),
+		shed:         reg.Counter("http_shed_total", "requests answered 503 by the admission controller"),
+		coalesced:    reg.Counter("retrieval_coalesced_total", "requests answered by sharing an identical in-flight retrieval"),
+		canceled:     reg.Counter("http_canceled_total", "retrievals abandoned because the client went away (answered 499)"),
+		timeouts:     reg.Counter("http_request_timeouts_total", "retrievals cancelled by the per-request deadline"),
+		brownEntered: reg.Counter("brownout_transitions_total", "brownout state transitions, by direction", metrics.L("to", "degraded")),
+		brownExited:  reg.Counter("brownout_transitions_total", "brownout state transitions, by direction", metrics.L("to", "exact")),
 
 		endpoints: make(map[string]*endpointMetrics, len(knownPaths)+1),
+	}
+	budget := cfg.CostBudget
+	if budget <= 0 {
+		flat := s.flatCost()
+		if budget = int64(cfg.MaxInFlight) * flat; budget < flat {
+			budget = flat // overflow or degenerate config: one scan at a time
+		}
+	}
+	s.adm = &admission{budget: budget}
+	s.lat = metrics.NewEWMA(0.1)
+	s.press = metrics.NewEWMA(0.1)
+	s.brown = &brownout{
+		highWater: cfg.BrownoutHighWater,
+		lowWater:  cfg.BrownoutLowWater,
+		latHigh:   cfg.BrownoutLatency.Seconds(),
+		hold:      cfg.BrownoutHold,
+		entered:   s.brownEntered,
+		exited:    s.brownExited,
+	}
+	s.retrieve = func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
+		if err := s.retrievalDelay(ctx); err != nil {
+			return nil, err
+		}
+		return s.model.SimilarItemsOpts(ctx, item, k, opts)
 	}
 	for _, p := range append(append([]string(nil), knownPaths...), "other") {
 		em := &endpointMetrics{
@@ -194,7 +297,22 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 		s.endpoints[p] = em
 	}
 	reg.GaugeFunc("http_inflight", "requests currently executing", func() float64 {
-		return float64(len(s.sem))
+		return float64(s.inflightReqs.Load())
+	})
+	reg.GaugeFunc("admission_cost_inflight", "predicted retrieval cost currently admitted (rows×dims units)", func() float64 {
+		return float64(s.adm.inflight.Load())
+	})
+	reg.GaugeFunc("admission_cost_budget", "admission budget (rows×dims units)", func() float64 {
+		return float64(s.adm.budget)
+	})
+	reg.GaugeFunc("admission_pressure", "EWMA of admitted cost / budget — the signal driving brownout", func() float64 {
+		return s.press.Value()
+	})
+	reg.GaugeFunc("serving_degraded", "1 while /v1/similar is in brownout (default scans downgraded to IVF)", func() float64 {
+		if s.brown.active() {
+			return 1
+		}
+		return 0
 	})
 	s.scanSeconds = reg.Histogram("retrieval_seconds", "similar-item retrieval latency, by source", cfg.LatencyBuckets, metrics.L("source", "scan"))
 	s.cacheSeconds = reg.Histogram("retrieval_seconds", "similar-item retrieval latency, by source", cfg.LatencyBuckets, metrics.L("source", "cache"))
@@ -207,6 +325,34 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 		})
 	}
 	return s
+}
+
+// flatCost is the predicted cost of one full flat scan over the item
+// index — the admission unit MaxInFlight is denominated in, and the cost
+// charged for cold-start retrievals (always exact vector scans).
+func (s *Server) flatCost() int64 {
+	c := s.index.PredictedCost(knn.Options{K: 1})
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// retrievalDelay pads a scan with the configured cancellable sleep (a
+// no-op in production configs; see Config.RetrievalDelay).
+func (s *Server) retrievalDelay(ctx context.Context) error {
+	d := s.cfg.RetrievalDelay
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Registry returns the metrics registry the server reports on.
@@ -237,11 +383,15 @@ func (s *Server) Handler() http.Handler {
 // harden wraps a handler in the protection chain, outermost first: panic
 // recovery (a handler bug answers 500 and is counted, instead of killing
 // the whole process), per-endpoint instrumentation (so shed, timed-out and
-// panicking requests are all measured), load shedding (overload answers
-// 503 + Retry-After immediately), and a per-request deadline (one stuck
-// request cannot hold a connection forever).
+// panicking requests are all measured), and a per-request deadline (one
+// stuck request cannot hold a connection forever — and, because the
+// deadline rides the request context into the scan, the worker actually
+// stops). Load shedding is no longer a uniform middleware: the retrieval
+// handlers admit by predicted scan cost (see admission.go), while
+// operational endpoints (/healthz, /readyz, /metrics, /v1/stats) stay
+// unmetered — an overloaded server must still answer its load balancer.
 func (s *Server) harden(h http.Handler) http.Handler {
-	return s.withRecovery(s.instrument(s.withLimit(http.TimeoutHandler(h, s.cfg.RequestTimeout, timeoutBody))))
+	return s.withRecovery(s.instrument(http.TimeoutHandler(h, s.cfg.RequestTimeout, timeoutBody)))
 }
 
 // timeoutBody is the envelope http.TimeoutHandler writes on 503; it cannot
@@ -298,6 +448,8 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 			em = s.endpoints["other"]
 		}
 		rec := &statusRecorder{ResponseWriter: w}
+		s.inflightReqs.Add(1)
+		defer s.inflightReqs.Add(-1)
 		start := time.Now()
 		finished := false
 		defer func() {
@@ -341,32 +493,107 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 	})
 }
 
-// withLimit sheds load beyond MaxInFlight concurrent requests with
-// 503 + Retry-After, keeping latency bounded for the requests it accepts.
-func (s *Server) withLimit(h http.Handler) http.Handler {
-	retryAfter := strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds())))
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-			h.ServeHTTP(w, r)
-		default:
-			s.shed.Inc()
-			w.Header().Set("Retry-After", retryAfter)
-			writeError(w, http.StatusServiceUnavailable, "overloaded", "server overloaded, retry later")
-		}
-	})
+// statusClientClosedRequest is the nginx-convention status for "the client
+// went away before the response was ready". It never reaches the client
+// (there is none), but it keys instrumentation into the 4xx class: a
+// cancelled retrieval is the *client's* outcome, not a server error.
+const statusClientClosedRequest = 499
+
+// writeShed answers one shed request: 503 overloaded plus a Retry-After
+// derived from current load. The shed request's pressure sample was
+// already taken at arrival (loadSample before tryAcquire), which is what
+// pushes the brownout machine toward degrading — a server shedding at
+// full pressure should be migrating its default scans to the cheap index.
+func (s *Server) writeShed(w http.ResponseWriter) {
+	s.shed.Inc()
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	writeError(w, http.StatusServiceUnavailable, "overloaded", "server overloaded, retry later")
+}
+
+// retryAfterSeconds derives the advertised back-off from the latency EWMA
+// scaled by admission pressure — roughly "how long until the backlog the
+// client would join has drained" — floored at the configured RetryAfter.
+// Deterministic per-shed jitter (a split-mix hash of a shed sequence
+// number) spreads synchronized clients over a half-wide window so they do
+// not retry in lockstep and re-create the spike that shed them.
+func (s *Server) retryAfterSeconds() string {
+	est := s.lat.Value() * 4 * (1 + s.adm.pressure())
+	if floor := s.cfg.RetryAfter.Seconds(); est < floor {
+		est = floor
+	}
+	h := s.shedSeq.Add(1) * 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	est *= 1 + float64(h%512)/1024 // jitter in [1, 1.5)
+	n := int(math.Ceil(est))
+	if n < 1 {
+		n = 1
+	}
+	if n > 30 {
+		n = 30
+	}
+	return strconv.Itoa(n)
+}
+
+// finishRetrieval records one completed (or failed) retrieval: latency
+// into the EWMA (which must be measured at completion), a brownout
+// evaluation against the current smoothed load, then the budget release.
+// It does NOT sample pressure: a completion-time sample always includes
+// the finishing request itself, so with a budget of one flat scan every
+// sample would read 1.0 even on a server that sits idle between
+// requests (seen in the wild as brownout flapping at trivial load).
+func (s *Server) finishRetrieval(start time.Time, cost int64) {
+	s.lat.Observe(time.Since(start).Seconds())
+	s.brown.observe(time.Now(), s.press.Value(), s.lat.Value())
+	s.adm.release(cost)
+}
+
+// loadSample records the admission pressure one arriving retrieval finds
+// (taken BEFORE it acquires budget) and re-evaluates the brownout
+// machine. Sampling at arrival matters twice over: Poisson arrivals see
+// time averages (an idle server's arrivals observe 0, so the EWMA decays
+// when load is light), and the raw instantaneous ratio is bimodal under
+// saturation — admission admits scans in waves, and wave-tail samples
+// read near-empty even while the server is saturated — so the brownout
+// sees the EWMA, never the raw sample.
+func (s *Server) loadSample() {
+	s.press.Observe(s.adm.pressure())
+	s.brown.observe(time.Now(), s.press.Value(), s.lat.Value())
+}
+
+// retrievalError maps a failed retrieval onto the error envelope:
+// admission shed → 503 overloaded; client gone → 499 canceled (its own
+// counter, never a 5xx — cancelled work is not a server error); deadline →
+// 503 timeout (normally already written by the TimeoutHandler; the write
+// here lands on the discarded inner recorder); anything else → 500.
+func (s *Server) retrievalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShed):
+		s.writeShed(w)
+	case errors.Is(err, context.Canceled):
+		s.canceled.Inc()
+		writeError(w, statusClientClosedRequest, "canceled", "client closed request")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		writeError(w, http.StatusServiceUnavailable, "timeout", "request timed out")
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", "internal server error")
+	}
 }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Similar:      s.similar.Value(),
-		ColdItem:     s.coldItem.Value(),
-		ColdUser:     s.coldUser.Value(),
-		ClientErrors: s.clientErrors.Value(),
-		Panics:       s.panics.Value(),
-		Shed:         s.shed.Value(),
+		Similar:         s.similar.Value(),
+		ColdItem:        s.coldItem.Value(),
+		ColdUser:        s.coldUser.Value(),
+		ClientErrors:    s.clientErrors.Value(),
+		Panics:          s.panics.Value(),
+		Shed:            s.shed.Value(),
+		Coalesced:       s.coalesced.Value(),
+		Canceled:        s.canceled.Value(),
+		Degraded:        s.brown.active(),
+		BrownoutEntered: s.brownEntered.Value(),
+		BrownoutExited:  s.brownExited.Value(),
 	}
 }
 
@@ -412,29 +639,106 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.similar.Inc()
 	start := time.Now()
-	// Only the exact default scan is cached: ANN answers depend on
-	// index/nprobe/quantized, and folding those into the key would let
-	// approximate results shadow exact ones (and vice versa).
-	if s.cache != nil && opts.Index == "" {
-		key := uint64(uint32(item))<<32 | uint64(uint32(k))
-		if recs, hit := s.cache.Get(key); hit {
-			s.cacheHits.Inc()
-			s.cacheSeconds.ObserveSince(start)
-			s.writeCandidates(w, recs)
+
+	// An explicit strategy (index=... in the query) bypasses cache,
+	// brownout and coalescing — the client asked for one specific scan —
+	// but is still admitted by cost and cancelled with the request.
+	if opts.Index != "" {
+		recs, err := s.admittedRetrieve(r.Context(), item, k, opts)
+		if err != nil {
+			s.retrievalError(w, err)
 			return
 		}
-		recs := s.model.SimilarItems(item, k)
-		s.cache.Put(key, recs)
-		s.cacheMisses.Inc()
+		s.similar.Inc()
 		s.scanSeconds.ObserveSince(start)
 		s.writeCandidates(w, recs)
 		return
 	}
-	recs := s.model.SimilarItemsOpts(item, k, opts)
+
+	// Default path: cache, then single-flight in front of the scan. Only
+	// the exact default scan is cached: ANN answers depend on
+	// index/nprobe/quantized, and folding those into the key would let
+	// approximate results shadow exact ones (and vice versa). Cached
+	// results are served even during brownout — they are exact and cost
+	// nothing, which is the whole point of keeping them.
+	key := uint64(uint32(item))<<32 | uint64(uint32(k))
+	if s.cache != nil {
+		if recs, hit := s.cache.Get(key); hit {
+			s.cacheHits.Inc()
+			s.similar.Inc()
+			s.cacheSeconds.ObserveSince(start)
+			s.writeCandidates(w, recs)
+			return
+		}
+	}
+
+	// Brownout is decided once per request; degraded and exact flights
+	// coalesce in separate groups so the two answer shapes never mix.
+	degraded := s.brown.active()
+	scanOpts := opts
+	if degraded {
+		scanOpts = knn.Options{K: k, Index: knn.IndexIVF, NProbe: s.cfg.BrownoutNProbe}
+	}
+	group := &s.flights[0]
+	if degraded {
+		group = &s.flights[1]
+	}
+	var (
+		recs   []knn.Result
+		shared bool
+		err    error
+	)
+	for attempt := 0; ; attempt++ {
+		recs, shared, err = group.do(r.Context(), key, func() ([]knn.Result, error) {
+			if s.cache != nil {
+				s.cacheMisses.Inc()
+			}
+			return s.admittedRetrieve(r.Context(), item, k, scanOpts)
+		})
+		// A follower handed its leader's cancellation while this client is
+		// still here retries once as the new leader: the leader's client
+		// going away must not fail the whole coalesced cohort.
+		if attempt == 0 && shared && err != nil && errors.Is(err, knn.ErrCanceled) && r.Context().Err() == nil {
+			continue
+		}
+		break
+	}
+	if err != nil {
+		s.retrievalError(w, err)
+		return
+	}
+	if shared {
+		s.coalesced.Inc()
+	}
+	s.similar.Inc()
+	if degraded {
+		// The accuracy contract changed; say so in-band.
+		w.Header().Set("X-Degraded", "ivf")
+	} else if s.cache != nil && !shared {
+		// Only the leader fills the cache, and only with exact results.
+		s.cache.Put(key, recs)
+	}
 	s.scanSeconds.ObserveSince(start)
 	s.writeCandidates(w, recs)
+}
+
+// admittedRetrieve runs one retrieval under the admission controller: the
+// predicted cost of the scan is acquired (or the call sheds with errShed),
+// the scan runs on the request context, and completion feeds the latency
+// EWMA and brownout machine before the cost is released.
+func (s *Server) admittedRetrieve(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
+	cost := s.index.PredictedCost(opts)
+	if cost < 1 {
+		cost = 1
+	}
+	s.loadSample()
+	if !s.adm.tryAcquire(cost) {
+		return nil, errShed
+	}
+	start := time.Now()
+	defer s.finishRetrieval(start, cost)
+	return s.retrieve(ctx, item, k, opts)
 }
 
 // annOptions parses the retrieval-strategy query parameters (index,
@@ -492,17 +796,43 @@ func (s *Server) handleColdItem(w http.ResponseWriter, r *http.Request) {
 			s.clientError(w, "%v", err)
 			return
 		}
+		recs, err := s.admittedVectorRetrieve(r.Context(), qv, k, nil)
+		if err != nil {
+			s.retrievalError(w, err)
+			return
+		}
 		s.coldItem.Inc()
-		s.writeCandidates(w, s.model.SimilarToVector(qv, k, nil))
+		s.writeCandidates(w, recs)
 		return
 	}
 	item, k, ok := s.itemAndK(w, r)
 	if !ok {
 		return
 	}
-	s.coldItem.Inc()
 	qv := s.model.ColdStartItemVector(s.ds.Dict.ItemSI[item])
-	s.writeCandidates(w, s.model.SimilarToVector(qv, k, func(id int32) bool { return id == item }))
+	recs, err := s.admittedVectorRetrieve(r.Context(), qv, k, func(id int32) bool { return id == item })
+	if err != nil {
+		s.retrievalError(w, err)
+		return
+	}
+	s.coldItem.Inc()
+	s.writeCandidates(w, recs)
+}
+
+// admittedVectorRetrieve is admittedRetrieve for the cold-start paths:
+// always an exact vector scan, so always charged one flat-scan cost.
+func (s *Server) admittedVectorRetrieve(ctx context.Context, qv []float32, k int, skip func(int32) bool) ([]knn.Result, error) {
+	cost := s.flatCost()
+	s.loadSample()
+	if !s.adm.tryAcquire(cost) {
+		return nil, errShed
+	}
+	start := time.Now()
+	defer s.finishRetrieval(start, cost)
+	if err := s.retrievalDelay(ctx); err != nil {
+		return nil, err
+	}
+	return s.model.SimilarToVector(ctx, qv, k, skip)
 }
 
 // coldUserRequest is the POST body of /coldstart/user. Age and Power are
@@ -554,9 +884,26 @@ func (s *Server) handleColdUser(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	types := s.ds.Pop.TypesMatching(gender, age, power)
-	recs, err := s.model.RecommendForColdUser(types, k)
+	if len(types) == 0 {
+		s.clientError(w, "sisg: no matching user types")
+		return
+	}
+	cost := s.flatCost()
+	s.loadSample()
+	if !s.adm.tryAcquire(cost) {
+		s.writeShed(w)
+		return
+	}
+	start := time.Now()
+	recs, err := func() ([]knn.Result, error) {
+		defer s.finishRetrieval(start, cost)
+		if err := s.retrievalDelay(r.Context()); err != nil {
+			return nil, err
+		}
+		return s.model.RecommendForColdUser(r.Context(), types, k)
+	}()
 	if err != nil {
-		s.clientError(w, "%v", err)
+		s.retrievalError(w, err)
 		return
 	}
 	s.coldUser.Inc()

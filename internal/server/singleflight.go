@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"sisg/internal/knn"
+)
+
+// flightCall is one in-progress retrieval that concurrent identical
+// requests wait on. done is closed after recs/err are final. waiters
+// counts parked followers; tests use it to sequence deterministically
+// ("follower is provably waiting") instead of sleeping.
+type flightCall struct {
+	done    chan struct{}
+	waiters atomic.Int32
+	recs    []knn.Result
+	err     error
+}
+
+// flightGroup coalesces concurrent identical retrievals: the first caller
+// for a key becomes the leader and runs the work; everyone else arriving
+// before it finishes becomes a follower and shares the leader's result.
+// This is the overload complement of the LRU cache — the cache only helps
+// *after* a first completion, while a popular seed's burst arrives
+// *during* it. Entries exist only while a call is in flight (the map is
+// not a cache), so memory is bounded by concurrency.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[uint64]*flightCall
+}
+
+// do runs fn for key, coalescing concurrent callers. It returns the
+// results, whether this caller shared a leader's flight (followers and
+// leaders see shared=true/false respectively — the caller's coalesce
+// counter and cache-fill decision key on it), and the error.
+//
+// A follower whose own ctx dies while waiting returns ctx.Err() without
+// disturbing the flight. A follower is also handed the leader's error
+// as-is — including a cancellation error when the leader's client went
+// away mid-scan; callers that outlive such a leader retry the key once,
+// becoming the new leader (see handleSimilar).
+func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]knn.Result, error)) (recs []knn.Result, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[uint64]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.waiters.Add(1)
+		defer c.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.recs, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.recs, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key) // before close: a post-completion arrival starts fresh
+	g.mu.Unlock()
+	close(c.done)
+	return c.recs, false, c.err
+}
+
+// waiting reports how many followers are parked on key's in-flight call
+// right now (0 when no call is in flight). Test-only observability.
+func (g *flightGroup) waiting(key uint64) int32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters.Load()
+	}
+	return 0
+}

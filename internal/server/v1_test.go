@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -85,18 +87,27 @@ func TestErrorEnvelope(t *testing.T) {
 		t.Fatalf("panic: code %q, want internal", env.Error.Code)
 	}
 
-	s.sem = make(chan struct{}, 1)
-	s.sem <- struct{}{} // saturate the limiter
-	shed := s.withLimit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-	}))
-	rec = httptest.NewRecorder()
-	shed.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/similar", nil))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("shed: status %d", rec.Code)
+	// Saturate the admission budget directly; a default /v1/similar scan
+	// then sheds with the overloaded envelope.
+	s.adm.inflight.Store(s.adm.budget)
+	code, body = fetchBody(t, ts.URL+"/v1/similar?item=1&k=5")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("shed: status %d", code)
 	}
-	if env := decodeEnvelope(t, rec.Body.Bytes()); env.Error.Code != "overloaded" {
+	if env := decodeEnvelope(t, body); env.Error.Code != "overloaded" {
 		t.Fatalf("shed: code %q, want overloaded", env.Error.Code)
+	}
+	s.adm.inflight.Store(0)
+
+	// A retrieval abandoned because the client went away maps to 499 with
+	// its own stable code — a client outcome, never a server error.
+	rec = httptest.NewRecorder()
+	s.retrievalError(rec, fmt.Errorf("scan: %w", context.Canceled))
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("canceled: status %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if env := decodeEnvelope(t, rec.Body.Bytes()); env.Error.Code != "canceled" {
+		t.Fatalf("canceled: code %q, want canceled", env.Error.Code)
 	}
 
 	// http.TimeoutHandler writes timeoutBody verbatim; it must parse as

@@ -20,6 +20,7 @@
 package sisg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -162,35 +163,44 @@ func (m *Model) QueryVector(query int32) []float32 {
 // SimilarItems returns the top-k most similar items to query, excluding
 // query itself. This is the matching-stage primitive: "a candidate set of
 // similar items is obtained for each item that users have interacted with".
+// It is the uncancellable convenience form; serving paths use
+// SimilarItemsOpts with a request context.
 func (m *Model) SimilarItems(query int32, k int) []knn.Result {
-	return m.SimilarItemsOpts(query, k, knn.Options{})
+	rs, _ := m.SimilarItemsOpts(context.Background(), query, k, knn.Options{})
+	return rs
 }
 
 // SimilarItemsOpts is SimilarItems with caller-chosen retrieval strategy:
 // opts.Index/NProbe/Quantized select the scan (flat brute force or IVF
 // ANN) while K, Normalize and Skip are still owned by the model so the
-// variant's scoring rule and self-exclusion cannot be overridden.
-func (m *Model) SimilarItemsOpts(query int32, k int, opts knn.Options) []knn.Result {
+// variant's scoring rule and self-exclusion cannot be overridden. The
+// context cancels the underlying scan at tile boundaries; a cancelled call
+// returns an error wrapping knn.ErrCanceled.
+func (m *Model) SimilarItemsOpts(ctx context.Context, query int32, k int, opts knn.Options) ([]knn.Result, error) {
 	opts.K = k
 	opts.Normalize = !m.Variant.Directed
 	opts.Skip = func(id int32) bool { return id == query }
-	return m.ItemIndex().Query(m.QueryVector(query), opts)
+	return m.ItemIndex().Query(ctx, m.QueryVector(query), opts)
 }
 
 // SimilarItemsBatch is SimilarItems for many query items at once, returning
 // candidate sets in query order. It rides the engine's batched scan (each
 // shard's rows are streamed once per batch), requesting k+1 neighbours
 // with no skip and dropping each query's own id afterwards — which yields
-// results bit-identical to per-query SimilarItems calls.
-func (m *Model) SimilarItemsBatch(queries []int32, k int) [][]knn.Result {
+// results bit-identical to per-query SimilarItems calls. Cancellation
+// fails the whole batch.
+func (m *Model) SimilarItemsBatch(ctx context.Context, queries []int32, k int) ([][]knn.Result, error) {
 	qvs := make([][]float32, len(queries))
 	for i, q := range queries {
 		qvs[i] = m.QueryVector(q)
 	}
-	batch := m.ItemIndex().QueryBatch(qvs, knn.Options{
+	batch, err := m.ItemIndex().QueryBatch(ctx, qvs, knn.Options{
 		K:         k + 1,
 		Normalize: !m.Variant.Directed,
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, rs := range batch {
 		self := queries[i]
 		out := rs[:0:len(rs)]
@@ -204,14 +214,14 @@ func (m *Model) SimilarItemsBatch(queries []int32, k int) [][]knn.Result {
 		}
 		batch[i] = out
 	}
-	return batch
+	return batch, nil
 }
 
 // SimilarToVector retrieves the top-k items for an arbitrary query vector
 // (used by both cold-start paths). Directed models still search output
 // vectors; symmetric models use cosine.
-func (m *Model) SimilarToVector(qv []float32, k int, skip func(int32) bool) []knn.Result {
-	return m.ItemIndex().Query(qv, knn.Options{
+func (m *Model) SimilarToVector(ctx context.Context, qv []float32, k int, skip func(int32) bool) ([]knn.Result, error) {
+	return m.ItemIndex().Query(ctx, qv, knn.Options{
 		K:         k,
 		Normalize: !m.Variant.Directed,
 		Skip:      skip,
@@ -364,7 +374,7 @@ func (m *Model) userQueryVector(types []int32) ([]float32, error) {
 // OUTPUT vector scored against item INPUT vectors (in(item)·out(UT) is the
 // trained "this audience clicks this item" direction); symmetric models use
 // cosine between input vectors throughout.
-func (m *Model) RecommendForColdUser(types []int32, k int) ([]knn.Result, error) {
+func (m *Model) RecommendForColdUser(ctx context.Context, types []int32, k int) ([]knn.Result, error) {
 	qv, err := m.userQueryVector(types)
 	if err != nil {
 		return nil, err
@@ -373,7 +383,7 @@ func (m *Model) RecommendForColdUser(types []int32, k int) ([]knn.Result, error)
 		if m.userIndex == nil {
 			m.userIndex = knn.NewIndex(m.Emb.In, m.Dict.NumItems, false)
 		}
-		return m.userIndex.Query(qv, knn.Options{K: k}), nil
+		return m.userIndex.Query(ctx, qv, knn.Options{K: k})
 	}
-	return m.ItemIndex().Query(qv, knn.Options{K: k, Normalize: true}), nil
+	return m.ItemIndex().Query(ctx, qv, knn.Options{K: k, Normalize: true})
 }

@@ -1,6 +1,7 @@
 package sisg
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -138,7 +139,10 @@ func TestSimilarItemsBatchMatchesSingle(t *testing.T) {
 	for _, v := range []Variant{VariantSISGF, VariantSISGFUD} {
 		_, m := tinyModel(t, v)
 		queries := []int32{0, 3, 7, 7, 11}
-		batch := m.SimilarItemsBatch(queries, 8)
+		batch, err := m.SimilarItemsBatch(context.Background(), queries, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(batch) != len(queries) {
 			t.Fatalf("%s: %d result sets for %d queries", v.Name, len(batch), len(queries))
 		}
@@ -214,7 +218,7 @@ func TestRecommendForColdUserBothScoringRules(t *testing.T) {
 	for _, variant := range []Variant{VariantSISGFU, VariantSISGFUD} {
 		ds, m := tinyModel(t, variant)
 		types := ds.Pop.TypesMatching(1, -1, 2)
-		recs, err := m.RecommendForColdUser(types, 8)
+		recs, err := m.RecommendForColdUser(context.Background(), types, 8)
 		if err != nil {
 			t.Fatalf("%s: %v", variant.Name, err)
 		}
