@@ -20,6 +20,10 @@
 //
 //	//lint:allow <check> <one-line reason>
 //
+// With -strict-allows (on in CI), an allow comment that suppresses
+// nothing — or names a check that does not exist — is itself a finding,
+// so suppressions cannot outlive the code they excuse.
+//
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 package main
 
@@ -39,6 +43,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit one JSON diagnostic per line instead of human text")
 		checks  = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		list    = flag.Bool("list", false, "list the available checks and exit")
+		strict  = flag.Bool("strict-allows", false, "report //lint:allow comments that suppress nothing")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sisg-lint [flags] [./... | ./path/to/pkg ...]\n")
@@ -81,6 +86,9 @@ func main() {
 	}
 
 	diags := mod.Lint(analyzers...)
+	if *strict {
+		diags = append(diags, mod.StaleAllows(analyzers...)...)
+	}
 	n := 0
 	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {

@@ -437,7 +437,7 @@ func (e *engine) run() (*emb.Model, Stats, error) {
 	e.spawnMu.Unlock()
 	e.tr.CloseInboxes()
 	e.wwg.Wait()
-	_ = e.tr.Close() //lint:allow errsink teardown of an already-drained transport
+	_ = e.tr.Close() // teardown of an already-drained transport (error deliberately dropped)
 	close(e.stopMon)
 	e.monWG.Wait()
 	e.supWG.Wait()

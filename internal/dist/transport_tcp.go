@@ -99,7 +99,7 @@ func newTCPTransport(workers int, seed uint64) (*tcpTransport, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			for _, l := range t.listeners[:i] {
-				_ = l.Close() //lint:allow errsink best-effort unwind of a failed construction
+				_ = l.Close() // best-effort unwind of a failed construction (error deliberately dropped)
 			}
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func (t *tcpTransport) Close() error {
 	close(t.closed)
 	t.closeMu.Unlock()
 	for _, ln := range t.listeners {
-		_ = ln.Close() //lint:allow errsink teardown; the accept loop exits on any error
+		_ = ln.Close() // teardown; the accept loop exits on any error (error deliberately dropped)
 	}
 	for _, row := range t.links {
 		for _, l := range row {
@@ -343,7 +343,7 @@ func (l *peerLink) dropConn(c net.Conn) {
 	}
 	l.connMu.Unlock()
 	if victim != nil {
-		_ = victim.Close() //lint:allow errsink closing a possibly already-broken socket
+		_ = victim.Close() // closing a possibly already-broken socket (error deliberately dropped)
 	}
 }
 
@@ -416,7 +416,7 @@ func (t *tcpTransport) acceptLoop(id int32, ln net.Listener) {
 func (t *tcpTransport) serveConn(dst int32, conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
-		_ = conn.Close() //lint:allow errsink teardown of a connection that may already be broken
+		_ = conn.Close() // teardown of a connection that may already be broken (error deliberately dropped)
 	}()
 	bw := bufio.NewWriter(conn)
 	for {

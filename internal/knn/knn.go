@@ -529,7 +529,7 @@ func sortResults(rs []Result) {
 //
 // Deprecated: use Query with Options{K: k, Skip: skip}.
 func (ix *Index) Search(query []float32, k int, skip func(int32) bool) []Result {
-	rs, _ := ix.Query(context.Background(), query, Options{K: k, Skip: skip})
+	rs, _ := ix.Query(context.Background(), query, Options{K: k, Skip: skip}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use Query
 	return rs
 }
 
@@ -537,7 +537,7 @@ func (ix *Index) Search(query []float32, k int, skip func(int32) bool) []Result 
 //
 // Deprecated: use Query with Options{K: k, Normalize: true, Skip: skip}.
 func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool) []Result {
-	rs, _ := ix.Query(context.Background(), query, Options{K: k, Normalize: true, Skip: skip})
+	rs, _ := ix.Query(context.Background(), query, Options{K: k, Normalize: true, Skip: skip}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use Query
 	return rs
 }
 
@@ -548,13 +548,13 @@ func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool)
 // signature; for per-query exclusion query k+1 and drop the known id.
 func (ix *Index) SearchBatch(queries [][]float32, k int, skip func(int, int32) bool) [][]Result {
 	if skip == nil {
-		out, _ := ix.QueryBatch(context.Background(), queries, Options{K: k})
+		out, _ := ix.QueryBatch(context.Background(), queries, Options{K: k}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use QueryBatch
 		return out
 	}
 	out := make([][]Result, len(queries))
 	for i := range queries {
 		qi := i
-		out[i], _ = ix.Query(context.Background(), queries[i], Options{K: k, Skip: func(id int32) bool { return skip(qi, id) }})
+		out[i], _ = ix.Query(context.Background(), queries[i], Options{K: k, Skip: func(id int32) bool { return skip(qi, id) }}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use Query
 	}
 	return out
 }

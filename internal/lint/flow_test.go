@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// findFunc locates a summary by bare function name in the flow fixture.
+func findFunc(t *testing.T, fl *Flow, name string) *FuncInfo {
+	t.Helper()
+	var found *FuncInfo
+	for _, f := range fl.Funcs() {
+		if f.Obj.Name() == name {
+			if found != nil {
+				t.Fatalf("two functions named %s in fixture; use unique names", name)
+			}
+			found = f
+		}
+	}
+	if found == nil {
+		t.Fatalf("no function %s in flow fixture", name)
+	}
+	return found
+}
+
+func TestFlowSummaries(t *testing.T) {
+	mod := loadFixture(t, "flow", "example.com/flow")
+	fl := mod.Flow()
+
+	waits := findFunc(t, fl, "waits")
+	if bf, ok := waits.DirectlyBlocks(); !ok || bf.Kind != BlockChan {
+		t.Errorf("waits: DirectlyBlocks = %v, %v; want a channel fact", bf, ok)
+	}
+
+	if f := findFunc(t, fl, "pure"); f.Blocks() {
+		t.Error("pure wrongly marked blocking")
+	}
+
+	// indirect -> helper -> waits: the blocking flag must propagate two
+	// static edges up.
+	if f := findFunc(t, fl, "indirect"); !f.Blocks() {
+		t.Error("indirect not marked blocking through helper -> waits")
+	}
+	if _, ok := findFunc(t, fl, "indirect").DirectlyBlocks(); ok {
+		t.Error("indirect has no blocking op of its own; DirectlyBlocks must be false")
+	}
+
+	// spawns: the go statement is a spawn summary bit, not a synchronous
+	// edge — waits blocking must NOT leak into spawns.
+	sp := findFunc(t, fl, "spawns")
+	if !sp.SpawnsGoroutine {
+		t.Error("spawns not marked as spawning a goroutine")
+	}
+	if sp.Blocks() {
+		t.Error("spawns wrongly blocking: the spawned call is not a synchronous edge")
+	}
+
+	// viaInterface blocks only through the interface join: its callees
+	// must include both implementations, and slowCaller's sleep decides.
+	vi := findFunc(t, fl, "viaInterface")
+	if !vi.Blocks() {
+		t.Error("viaInterface not blocking through the interface join")
+	}
+	var names []string
+	for _, c := range vi.Callees {
+		names = append(names, c.Obj.FullName())
+	}
+	if len(names) != 2 {
+		t.Errorf("viaInterface callees = %v; want both Caller implementations", names)
+	}
+}
+
+// Two independent loads of the same tree must produce byte-identical
+// graph dumps and byte-identical JSON diagnostics — the property CI
+// depends on to diff lint output across runs. This runs over the real
+// repository, the largest tree we have.
+func TestFlowDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double module load in -short mode")
+	}
+	load := func() (string, []byte) {
+		mod, err := Load("../..", "")
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		dump := mod.Flow().Dump()
+		diags, err := json.Marshal(mod.Lint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dump, diags
+	}
+	dump1, diags1 := load()
+	dump2, diags2 := load()
+	if dump1 != dump2 {
+		t.Error("two loads produced different flow dumps")
+	}
+	if !bytes.Equal(diags1, diags2) {
+		t.Errorf("two loads produced different diagnostics JSON:\n%s\nvs\n%s", diags1, diags2)
+	}
+	if len(dump1) == 0 {
+		t.Error("flow dump is empty; the graph did not build")
+	}
+}

@@ -41,6 +41,18 @@ func TestNetDeadlineGolden(t *testing.T) {
 	runGolden(t, "netdeadline", "example.com/dist", NetDeadline())
 }
 
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, "ctxflow", "example.com/server", CtxFlow())
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	runGolden(t, "goleak", "example.com/dist", GoLeak())
+}
+
+func TestLockHoldGolden(t *testing.T) {
+	runGolden(t, "lockhold", "example.com/dist", LockHold())
+}
+
 // Path-scoped analyzers must stay silent outside their scope: the same
 // fixtures, reloaded under a neutral module path, yield nothing.
 func TestScopedAnalyzersIgnoreOtherPackages(t *testing.T) {
@@ -48,6 +60,9 @@ func TestScopedAnalyzersIgnoreOtherPackages(t *testing.T) {
 		"maporder":    MapOrder(),
 		"errsink":     ErrSink(),
 		"netdeadline": NetDeadline(),
+		"ctxflow":     CtxFlow(),
+		"goleak":      GoLeak(),
+		"lockhold":    LockHold(),
 	} {
 		mod := loadFixture(t, fixture, "example.com/unrelated")
 		if diags := mod.Lint(a); len(diags) != 0 {

@@ -18,13 +18,30 @@
 //     preceding Set*Deadline on the same connection — the undeadlined read
 //     that hangs a goroutine forever under a one-way partition.
 //
+// Three analyzers reason across function boundaries through the shared
+// dataflow layer (flow.go): a deterministic intra-module call graph plus
+// per-function summaries, built once per Module:
+//
+//   - ctxflow:  a request-path function that receives a context must pass
+//     it to every blocking callee that accepts one; context.Background()/
+//     TODO() and ctx-in-struct-field are findings in server/sisg/knn.
+//   - goleak:   every `go` statement in dist/server/knn needs a provable
+//     termination path — WaitGroup-bound, done/ctx-channel select, range
+//     over a closable channel, or a buffered result send.
+//   - lockhold: no blocking work (net I/O, channel ops, sleeps, blocking
+//     helpers per the flow summaries) while a sync.Mutex/RWMutex is held,
+//     in dist/server/knn/metrics.
+//
 // A diagnostic can be suppressed with a comment:
 //
 //	//lint:allow <check> <one-line reason>
 //
 // placed either at the end of the offending line or on its own line
 // directly above it. Each comment covers a single source line, so a
-// suppression never silences more than it names.
+// suppression never silences more than it names. Suppressions are audited:
+// after a Lint pass, StaleAllows reports every allow comment that
+// suppressed nothing (and every allow naming a check that does not exist),
+// so dead suppressions cannot accumulate as the code under them improves.
 //
 // Only non-test files are analyzed: _test.go files may use math/rand,
 // unsorted iteration, etc. freely.
@@ -68,14 +85,25 @@ func Analyzers() []*Analyzer {
 		ErrSink(),
 		MetricName(),
 		NetDeadline(),
+		CtxFlow(),
+		GoLeak(),
+		LockHold(),
 	}
 }
 
-// ByName returns the named analyzers, or an error naming the first unknown.
+// ByName returns the named analyzers, or an error naming the first
+// unknown. Names are trimmed of surrounding space (so "-checks a, b"
+// works) and deduplicated, so no analyzer runs — and reports — twice.
 func ByName(names ...string) ([]*Analyzer, error) {
 	all := Analyzers()
 	var out []*Analyzer
+	seen := make(map[string]bool)
 	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
 		found := false
 		for _, a := range all {
 			if a.Name == n {
@@ -129,25 +157,83 @@ func (m *Module) Lint(analyzers ...*Analyzer) []Diagnostic {
 }
 
 // allow is one parsed //lint:allow comment: it suppresses diagnostics of
-// the named check on a single source line.
+// the named check on a single source line. used is set when it actually
+// suppresses something, so StaleAllows can report dead suppressions.
 type allow struct {
 	check string
 	line  int
+	pos   token.Position // where the comment itself sits
+	used  bool
 }
 
-// allowed reports whether d is suppressed by an allow comment in its file.
+// allowed reports whether d is suppressed by an allow comment in its
+// file, marking the comment as earning its keep.
 func (p *Package) allowed(d Diagnostic) bool {
 	for _, f := range p.Files {
 		if f.Path != d.Pos.Filename {
 			continue
 		}
-		for _, a := range f.allows {
+		for i := range f.allows {
+			a := &f.allows[i]
 			if a.check == d.Check && a.line == d.Pos.Line {
+				a.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// StaleAllows audits the //lint:allow comments after a Lint pass with the
+// same analyzers: a comment that suppressed nothing is a finding (the code
+// under it improved, or the line drifted — either way the suppression is
+// dead and would silently swallow the next real diagnostic), and so is a
+// comment naming a check that does not exist. Only allows for checks in
+// the given set are judged stale, so a partial -checks run never condemns
+// suppressions it did not exercise; pass none to audit against the full
+// suite.
+func (m *Module) StaleAllows(analyzers ...*Analyzer) []Diagnostic {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for i := range f.allows {
+				a := &f.allows[i]
+				switch {
+				case !known[a.check]:
+					out = append(out, Diagnostic{
+						Pos:     a.pos,
+						Check:   "allows",
+						Message: fmt.Sprintf("//lint:allow names unknown check %q; it suppresses nothing", a.check),
+					})
+				case ran[a.check] && !a.used:
+					out = append(out, Diagnostic{
+						Pos:     a.pos,
+						Check:   "allows",
+						Message: fmt.Sprintf("stale //lint:allow %s: no %s finding on line %d to suppress", a.check, a.check, a.line),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 const allowPrefix = "//lint:allow "
@@ -172,7 +258,7 @@ func parseAllows(fset *token.FileSet, file *ast.File, src []byte) []allow {
 			if standalone(src, pos.Offset) {
 				line++
 			}
-			out = append(out, allow{check: check, line: line})
+			out = append(out, allow{check: check, line: line, pos: pos})
 		}
 	}
 	return out
@@ -206,6 +292,23 @@ func pathHasSegment(path string, names ...string) bool {
 		}
 	}
 	return false
+}
+
+// scopedTo reports whether pkg sits under one of the named segments of
+// its module-relative import path. The flow analyzers scope with this
+// rather than pathHasSegment because the module is itself named "sisg":
+// judged on the full import path, a scope containing "sisg" would match
+// every package in the tree instead of just internal/sisg.
+func scopedTo(m *Module, pkg *Package, names ...string) bool {
+	rel := strings.TrimPrefix(pkg.Path, m.Path)
+	rel = strings.TrimPrefix(rel, "/")
+	if rel == "" {
+		// The module root package: judge by the module path's own last
+		// segment, so a fixture module named example.com/server is "in"
+		// server the way internal/server is.
+		rel = m.Path[strings.LastIndex(m.Path, "/")+1:]
+	}
+	return pathHasSegment(rel, names...)
 }
 
 // objOf resolves an expression to the object it names, unwrapping parens:

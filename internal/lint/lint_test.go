@@ -23,8 +23,16 @@ func TestRepositoryLintsClean(t *testing.T) {
 			t.Errorf("package %s not loaded", want)
 		}
 	}
+	if len(Analyzers()) != 9 {
+		t.Fatalf("suite has %d analyzers, want 9", len(Analyzers()))
+	}
 	for _, d := range mod.Lint() {
 		t.Errorf("repository not lint-clean: %s", d)
+	}
+	// The strict audit: every //lint:allow in the tree must have earned
+	// its keep during the pass above, and name a real check.
+	for _, d := range mod.StaleAllows() {
+		t.Errorf("suppression audit: %s", d)
 	}
 }
 
@@ -38,6 +46,57 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuchcheck"); err == nil || !strings.Contains(err.Error(), "nosuchcheck") {
 		t.Fatalf("ByName(nosuchcheck) error = %v, want it named", err)
+	}
+	// The error must list every valid name, so a -checks typo is
+	// self-correcting from the message alone.
+	_, err = ByName("ctxflo")
+	if err == nil {
+		t.Fatal("ByName(ctxflo): want error")
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(err.Error(), a.Name) {
+			t.Errorf("ByName error %q does not list valid check %s", err, a.Name)
+		}
+	}
+	// Whitespace (from "-checks a, b") is trimmed; duplicates collapse so
+	// no analyzer runs — and reports — twice.
+	as, err = ByName(" goleak", "goleak ", "goleak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 1 || as[0].Name != "goleak" {
+		t.Fatalf("ByName with spaces/dups returned %v, want one goleak", as)
+	}
+}
+
+// The stale-suppression audit: an allow that suppressed something is
+// quiet, one that suppressed nothing is a finding, and one naming a
+// nonexistent check is a finding regardless of which analyzers ran.
+func TestStaleAllows(t *testing.T) {
+	mod := loadFixture(t, "allowaudit", "example.com/app")
+	if diags := mod.Lint(GlobalRand()); len(diags) != 0 {
+		t.Fatalf("fixture should lint clean (the one violation is allowed), got %v", diags)
+	}
+	audit := mod.StaleAllows(GlobalRand())
+	if len(audit) != 2 {
+		t.Fatalf("StaleAllows = %v, want exactly the stale and the unknown-check findings", audit)
+	}
+	if !strings.Contains(audit[0].Message, "stale") || !strings.Contains(audit[0].Message, "globalrand") {
+		t.Errorf("first audit finding = %q, want the stale globalrand allow", audit[0].Message)
+	}
+	if !strings.Contains(audit[1].Message, "nosuchcheck") {
+		t.Errorf("second audit finding = %q, want the unknown-check allow", audit[1].Message)
+	}
+}
+
+// An allow for a check outside the run set is not judged stale: a partial
+// -checks invocation must not condemn suppressions it never exercised.
+func TestStaleAllowsScopedToRunSet(t *testing.T) {
+	mod := loadFixture(t, "allowaudit", "example.com/app")
+	mod.Lint(MapOrder()) // globalrand never runs
+	audit := mod.StaleAllows(MapOrder())
+	if len(audit) != 1 || !strings.Contains(audit[0].Message, "nosuchcheck") {
+		t.Fatalf("StaleAllows(maporder) = %v, want only the unknown-check finding", audit)
 	}
 }
 

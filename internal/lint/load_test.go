@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The loader fixture holds three files defining fast(): one behind
+// //go:build !integration (loaded), one behind //go:build integration
+// (skipped), and one with a _windows filename suffix (skipped off
+// windows). If the loader ignored constraints, type checking would fail
+// on the redeclaration — so a clean load IS the assertion. broken_test.go
+// in the same directory references an undefined symbol; loading it would
+// also fail, proving _test.go exclusion.
+func TestLoadRespectsBuildConstraints(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("fixture pins the _windows suffix as the excluded variant")
+	}
+	mod := loadFixture(t, "loader", "example.com/lib")
+	pkg := mod.Package("example.com/lib")
+	if pkg == nil {
+		t.Fatal("fixture package not loaded")
+	}
+	var names []string
+	for _, f := range pkg.Files {
+		names = append(names, filepath.Base(f.Path))
+	}
+	got := strings.Join(names, ",")
+	if want := "fast.go,lib.go"; got != want {
+		t.Errorf("loaded files = %s, want %s (tag- and suffix-excluded variants skipped, _test.go never read)", got, want)
+	}
+}
+
+func TestFileNameMatches(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		{"snake_case_name.go", true},
+		{"x_" + runtime.GOOS + ".go", true},
+		{"x_" + runtime.GOARCH + ".go", true},
+		{"x_" + runtime.GOOS + "_" + runtime.GOARCH + ".go", true},
+		{"x_plan9.go", false},
+		{"x_wasm.go", false},
+		{"x_plan9_386.go", false},
+		// An unknown suffix is just part of the name.
+		{"x_custom.go", true},
+	}
+	for _, c := range cases {
+		if got := fileNameMatches(c.name); got != c.want {
+			t.Errorf("fileNameMatches(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildTagsMatch(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n", true},
+		{"//go:build " + runtime.GOOS + "\npackage p\n", true},
+		{"//go:build !" + runtime.GOOS + "\npackage p\n", false},
+		{"//go:build integration\npackage p\n", false},
+		{"//go:build !integration\npackage p\n", true},
+		{"//go:build " + runtime.GOARCH + " && gc && !purego\npackage p\n", true},
+		{"//go:build purego\npackage p\n", false},
+		{"//go:build go1.21\npackage p\n", true},
+		// A constraint-looking line after the package clause is not one.
+		{"package p\n\n//go:build integration\n", true},
+	}
+	for _, c := range cases {
+		if got := buildTagsMatch([]byte(c.src)); got != c.want {
+			t.Errorf("buildTagsMatch(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}

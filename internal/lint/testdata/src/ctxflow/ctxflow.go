@@ -1,0 +1,122 @@
+// Fixture for the ctxflow analyzer (scoped to server/sisg/knn packages;
+// the golden test loads this tree as module "example.com/server").
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// retrieve blocks: it parks until the scan answers or the ctx is
+// cancelled. The flow layer marks it blocking, which is what arms the
+// dataflow rule at its call sites.
+func retrieve(ctx context.Context, out chan int) (int, error) {
+	select {
+	case v := <-out:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// lookup never blocks; passing it a detached ctx is pointless but not a
+// stall, so the dataflow rule stays quiet (Background itself still fires
+// where it is called).
+func lookup(ctx context.Context, table map[int]int, k int) int {
+	return table[k]
+}
+
+// handleV1Similar is the seeded regression: a /v1 handler whose retrieval
+// was reverted to context.Background(), silently detaching every scan it
+// starts from its request.
+func handleV1Similar(w http.ResponseWriter, r *http.Request, out chan int) {
+	v, _ := retrieve(context.Background(), out) // want "context.Background\\(\\) detaches this path"
+	_ = v
+}
+
+// handleV1Good threads the request context — the PR 8 contract, clean.
+func handleV1Good(w http.ResponseWriter, r *http.Request, out chan int) {
+	v, _ := retrieve(r.Context(), out)
+	_ = v
+}
+
+// stashed is a detached context parked at package level — the kind of
+// stale reference the dataflow rule exists to catch at call sites.
+var stashed = context.Background()
+
+// handleV1Stashed has the request in hand but passes the stashed context
+// to the blocking callee: the dataflow finding, distinct from Background.
+func handleV1Stashed(w http.ResponseWriter, r *http.Request, out chan int) {
+	v, _ := retrieve(stashed, out) // want "does not reach it"
+	_ = v
+}
+
+// handleV1Derived wraps its request context before passing it on; a
+// derived context still counts as reaching the callee. Deliberately
+// exempt.
+func handleV1Derived(w http.ResponseWriter, r *http.Request, out chan int) {
+	tctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	v, _ := retrieve(tctx, out)
+	_ = v
+}
+
+// chainDerived re-derives twice through locals; the fixed-point derivation
+// keeps it clean.
+func chainDerived(ctx context.Context, out chan int) (int, error) {
+	c1 := context.WithValue(ctx, ctxKey{}, "req")
+	c2, cancel := context.WithTimeout(c1, time.Second)
+	defer cancel()
+	return retrieve(c2, out)
+}
+
+type ctxKey struct{}
+
+// todoInHelper: TODO is no better than Background.
+func todoInHelper(out chan int) (int, error) {
+	return retrieve(context.TODO(), out) // want "context.TODO\\(\\) detaches this path"
+}
+
+// viaLiteral: a literal that declares its own ctx parameter is its own
+// scope and must use it — this one does; clean.
+func viaLiteral(out chan int) func(context.Context) (int, error) {
+	return func(ctx context.Context) (int, error) {
+		return retrieve(ctx, out)
+	}
+}
+
+// literalDropsCapture: the literal inherits the enclosing ctx by capture
+// but hands the blocking callee the stashed one instead.
+func literalDropsCapture(ctx context.Context, out chan int) func() (int, error) {
+	return func() (int, error) {
+		return retrieve(stashed, out) // want "does not reach it"
+	}
+}
+
+// stashingCtx is the struct-field finding: a context parked in a struct
+// outlives its request and is invisible to the flow analysis.
+type stashingCtx struct {
+	ctx  context.Context // want "stored in struct field ctx"
+	out  chan int
+	when time.Time
+}
+
+// cleanConfig holds no context; nothing to report.
+type cleanConfig struct {
+	out  chan int
+	when time.Time
+}
+
+// allowedWrapper is the annotated-exemption pattern: a deliberate detach
+// with a reason, as the repo's deprecated wrappers carry.
+func allowedWrapper(out chan int) (int, error) {
+	return retrieve(context.Background(), out) //lint:allow ctxflow deprecated ctx-less compatibility shim
+}
+
+// nonBlockingDrop: lookup takes a ctx but never blocks, so handing it the
+// stashed context is not a stall; deliberately exempt from the dataflow
+// rule.
+func nonBlockingDrop(ctx context.Context, table map[int]int) int {
+	return lookup(stashed, table, 7)
+}

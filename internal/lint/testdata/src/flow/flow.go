@@ -1,0 +1,42 @@
+// Fixture for the dataflow-layer unit tests (loaded under the neutral
+// module path "example.com/flow" so no path-scoped analyzer fires): a
+// small call graph exercising direct blocking facts, transitive
+// propagation, interface-method joins and goroutine spawn summaries.
+package flow
+
+import "time"
+
+type Caller interface {
+	Call(msg string) string
+}
+
+type slowCaller struct{}
+
+func (slowCaller) Call(msg string) string {
+	time.Sleep(time.Millisecond)
+	return msg
+}
+
+type fastCaller struct{}
+
+func (fastCaller) Call(msg string) string { return msg }
+
+// viaInterface blocks only through the interface join: neither its body
+// nor any static edge blocks, but slowCaller is a possible target.
+func viaInterface(c Caller) string { return c.Call("x") }
+
+// pure neither blocks nor calls anything that does.
+func pure(a, b int) int { return a + b }
+
+// indirect picks up "blocks" transitively through helper.
+func indirect() { helper() }
+
+func helper() { waits(make(chan int)) }
+
+func waits(ch chan int) { <-ch }
+
+// spawns starts a goroutine; the spawned call is not a synchronous edge,
+// so spawns itself does not block.
+func spawns(ch chan int) {
+	go func() { waits(ch) }()
+}

@@ -1,0 +1,145 @@
+// Fixture for the goleak analyzer (scoped to dist/server/knn packages;
+// the golden test loads this tree as module "example.com/dist").
+package dist
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// pollForever is the classic fire-and-forget leak: an infinite loop with
+// no waiter and no shutdown signal.
+func pollForever() {
+	go func() { // want "no termination path"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// copyConn leaks a goroutine AND pins the connection it captured: the
+// descriptor lives as long as the process once nobody can stop the copy.
+func copyConn(conn net.Conn) {
+	go func() { // want "captures net connection conn"
+		_, _ = io.Copy(io.Discard, conn)
+	}()
+}
+
+// spawnOpaque launches a func value the analysis cannot see into; the
+// spawn site must carry the proof, and has none.
+func spawnOpaque(fn func()) {
+	go fn() // want "cannot see into"
+}
+
+// waitGroupBound is the supervised pattern: a waiter owns the lifecycle.
+// Deliberately exempt.
+func waitGroupBound(wg *sync.WaitGroup, work chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			v, ok := <-work
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// doneSelect shuts down through a done channel; exempt.
+func doneSelect(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// rangeWorker drains until the producer closes the channel; exempt.
+func rangeWorker(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// bufferedResult hands its result to a channel made with a buffer in the
+// spawner: the send completes even if every receiver gave up. Exempt.
+func bufferedResult() chan int {
+	res := make(chan int, 1)
+	go func() {
+		res <- 42
+	}()
+	return res
+}
+
+// unbufferedResult is the same handoff without the buffer: if the caller
+// stops listening, the goroutine parks on the send forever.
+func unbufferedResult() chan int {
+	res := make(chan int)
+	go func() { // want "no termination path"
+		res <- 42
+	}()
+	return res
+}
+
+// straightLine cannot park and cannot loop; it runs off its own end.
+// Exempt.
+func straightLine(counter *int) {
+	go func() {
+		*counter++
+	}()
+}
+
+// namedLoop spawns a method whose body the flow layer resolves: loop is
+// WaitGroup-bound, so the spawn is exempt even though the proof lives in
+// another function.
+type pump struct {
+	wg   sync.WaitGroup
+	work chan int
+}
+
+func (p *pump) start() {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+func (p *pump) loop() {
+	defer p.wg.Done()
+	for v := range p.work {
+		_ = v
+	}
+}
+
+// namedLeak spawns a named function that blocks forever with no proof
+// anywhere.
+func (p *pump) startLeaky() {
+	go p.drain() // want "goroutine running drain has no termination path"
+}
+
+func (p *pump) drain() {
+	for {
+		v := <-p.work
+		_ = v
+	}
+}
+
+// allowedSpawn is the annotated-exemption pattern: a deliberate
+// process-lifetime goroutine with a reason.
+func allowedSpawn(work chan int) {
+	go func() { //lint:allow goleak process-lifetime drain, reaped at exit
+		for {
+			v := <-work
+			_ = v
+		}
+	}()
+}

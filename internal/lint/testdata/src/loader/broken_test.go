@@ -1,0 +1,6 @@
+package lib
+
+// fast here both redeclares the symbol in fast.go and references an
+// undefined identifier: if the loader ever parsed _test.go files,
+// type-checking this package would fail loudly.
+func fast() int { return notAThing }

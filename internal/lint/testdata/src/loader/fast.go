@@ -1,0 +1,5 @@
+//go:build !integration
+
+package lib
+
+func fast() int { return 1 }

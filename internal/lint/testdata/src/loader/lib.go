@@ -1,0 +1,6 @@
+// Fixture for the loader tests: build-tag-guarded duplicate symbols and a
+// deliberately broken _test.go file. Load must pick exactly one fast()
+// and never read the test file.
+package lib
+
+func F() int { return fast() }

@@ -1,0 +1,7 @@
+//go:build integration
+
+package lib
+
+// fast here redeclares the symbol in fast.go: if the loader ignored build
+// constraints, type checking would fail on the collision.
+func fast() int { return 2 }

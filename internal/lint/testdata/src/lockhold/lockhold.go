@@ -1,0 +1,119 @@
+// Fixture for the lockhold analyzer (scoped to dist/server/knn/metrics
+// packages; the golden test loads this tree as module "example.com/dist").
+package dist
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cache map[int]int
+}
+
+// sleepUnderLock serializes every waiter behind a timer.
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while mu is held"
+	s.mu.Unlock()
+}
+
+// recvUnderDeferredLock: the deferred Unlock holds the mutex across the
+// receive — the deadlock-shaped version of the same mistake.
+func (s *store) recvUnderDeferredLock(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want "channel receive while mu is held"
+}
+
+// writeUnderRLock: socket I/O under a read lock still serializes writers.
+func (s *store) writeUnderRLock(c net.Conn, b []byte) {
+	s.rw.RLock()
+	_, _ = c.Write(b) // want "net.Conn Write while rw is held"
+	s.rw.RUnlock()
+}
+
+// sendUnderLock parks the holder on a rendezvous.
+func (s *store) sendUnderLock(ch chan int, v int) {
+	s.mu.Lock()
+	ch <- v // want "channel send while mu is held"
+	s.mu.Unlock()
+}
+
+// slowHelper is a small helper whose own body blocks; callers under a
+// lock get flagged through one level of summary inlining.
+func slowHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *store) helperUnderLock() {
+	s.mu.Lock()
+	slowHelper() // want "call to slowHelper, which does time.Sleep"
+	s.mu.Unlock()
+}
+
+// snapshotThenSend is the hot-path idiom the analyzer must NOT flag: copy
+// under the lock, do the blocking work outside. Deliberately exempt.
+func (s *store) snapshotThenSend(ch chan int, k int) {
+	s.mu.Lock()
+	v := s.cache[k]
+	s.mu.Unlock()
+	ch <- v
+}
+
+// spawnUnderLock: the goroutine blocks on its own schedule, not the lock
+// holder's; exempt (its body is still checked as its own scope).
+func (s *store) spawnUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	s.cache[0] = 1
+	go func() {
+		<-done
+	}()
+	s.mu.Unlock()
+}
+
+// lockUnderLock: taking a second mutex while holding the first is an
+// ordering question, not a stall — BlockLock is excluded by design.
+// Deliberately exempt.
+func (s *store) lockUnderLock() {
+	s.mu.Lock()
+	s.rw.Lock()
+	s.cache[1] = 2
+	s.rw.Unlock()
+	s.mu.Unlock()
+}
+
+// deferredLiteralEscapes: a deferred literal runs at return, as its own
+// scope; the receive inside it is not "under" the lock region it is
+// written inside. Exempt.
+func (s *store) deferredLiteralEscapes(ch chan int) {
+	s.mu.Lock()
+	defer func() {
+		<-ch
+	}()
+	s.cache[2] = 3
+	s.mu.Unlock()
+}
+
+// unlockedBetween: the linear walk tracks release — blocking after the
+// Unlock is fine even with a Lock further down. Exempt.
+func (s *store) unlockedBetween(ch chan int) {
+	s.mu.Lock()
+	v := s.cache[3]
+	s.mu.Unlock()
+	ch <- v
+	s.mu.Lock()
+	s.cache[3] = v + 1
+	s.mu.Unlock()
+}
+
+// allowedCalibration is the annotated-exemption pattern: a deliberate,
+// explained hold across a sleep.
+func (s *store) allowedCalibration() {
+	s.mu.Lock()
+	time.Sleep(time.Microsecond) //lint:allow lockhold calibration spin, held lock is test-only
+	s.mu.Unlock()
+}

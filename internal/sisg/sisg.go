@@ -166,7 +166,7 @@ func (m *Model) QueryVector(query int32) []float32 {
 // It is the uncancellable convenience form; serving paths use
 // SimilarItemsOpts with a request context.
 func (m *Model) SimilarItems(query int32, k int) []knn.Result {
-	rs, _ := m.SimilarItemsOpts(context.Background(), query, k, knn.Options{})
+	rs, _ := m.SimilarItemsOpts(context.Background(), query, k, knn.Options{}) //lint:allow ctxflow uncancellable convenience form; serving uses SimilarItemsOpts
 	return rs
 }
 
