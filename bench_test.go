@@ -17,6 +17,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -271,8 +272,9 @@ func BenchmarkKNNRetrieval(b *testing.B) {
 	}
 	m.ItemIndex() // build outside the loop
 	b.ResetTimer()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		m.SimilarItems(int32(i%ds.Dict.NumItems), 20)
+		m.SimilarOne(ctx, int32(i%ds.Dict.NumItems), knn.Options{K: 20})
 	}
 }
 
@@ -310,7 +312,13 @@ func BenchmarkABTestDay(b *testing.B) {
 		b.Fatal(err)
 	}
 	arms := map[string]abtest.CandidateFunc{
-		"SISG": func(q, user int32, k int) []knn.Result { return m.SimilarItems(q, k) },
+		"SISG": func(q, user int32, k int) []knn.Result {
+			rs, err := m.SimilarOne(context.Background(), q, knn.Options{K: k})
+			if err != nil {
+				return nil
+			}
+			return rs
+		},
 	}
 	cfg := abtest.Config{Days: 1, ImpressionsPerDay: 2000, Candidates: 40, Shown: 6, Seed: 1}
 	b.ResetTimer()
@@ -333,7 +341,11 @@ func BenchmarkEvaluateHR(b *testing.B) {
 		b.Fatal(err)
 	}
 	rec := eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
-		return m.SimilarItems(tc.Query, k)
+		rs, err := m.SimilarOne(context.Background(), tc.Query, knn.Options{K: k})
+		if err != nil {
+			return nil
+		}
+		return rs
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -77,7 +77,11 @@ func main() {
 	model := &sisg.Model{Variant: v, Dict: ds.Dict, Emb: m}
 
 	rec := eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
-		return model.SimilarItems(tc.Query, k)
+		rs, err := model.SimilarOne(context.Background(), tc.Query, knn.Options{K: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rs
 	})
 	if *batch {
 		queries := make([]int32, len(split.Test))
@@ -91,7 +95,7 @@ func main() {
 			}
 		}
 		start := time.Now()
-		results, err := model.SimilarItemsBatch(context.Background(), queries, maxK)
+		results, err := model.Similar(context.Background(), queries, knn.Options{K: maxK})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,13 +28,34 @@
 // tokens/sec, current LR, ETA) during training; -pprof-addr exposes
 // net/http/pprof plus a Prometheus /metrics page on a sidecar listener,
 // so a long daily-update run can be profiled and scraped while it works.
+//
+// Streaming training with zero-downtime serving:
+//
+//	sisg-train -stream -corpus tiny -reserve-items 40 -launch-every 25 \
+//	    -publish-every 500 -serve localhost:8080
+//
+// -stream replaces the batch epochs with an endless ingest loop over a
+// live session generator (drifting popularity, new items launching over
+// time): tokens are admitted under -vocab-budget by a count-min sketch,
+// newly admitted items are Eq. 6-seeded from their side information
+// BEFORE any gradient touches them, and every -publish-every sessions an
+// immutable snapshot generation is published. With -serve, the latest
+// generation is hot-swapped into a serving tier on that address —
+// in-flight requests keep the snapshot they started on; new requests see
+// the new generation. -stream-sessions bounds the ingest window (0 runs
+// until SIGINT/SIGTERM); with -serve the process keeps serving the final
+// generation after the window until signalled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sisg/internal/corpus"
@@ -42,9 +63,12 @@ import (
 	"sisg/internal/emb"
 	"sisg/internal/experiments"
 	"sisg/internal/metrics"
+	"sisg/internal/model"
 	"sisg/internal/seqio"
+	"sisg/internal/server"
 	"sisg/internal/sgns"
 	"sisg/internal/sisg"
+	"sisg/internal/vocab"
 )
 
 // logProgress renders one live training snapshot as a log line.
@@ -85,6 +109,17 @@ func main() {
 		showProg   = flag.Bool("metrics", false, "print periodic training progress lines (pairs/sec, tokens/sec, LR, ETA)")
 		progEvery  = flag.Duration("metrics-every", 2*time.Second, "progress reporting interval for -metrics")
 		pprofAddr  = flag.String("pprof-addr", "", "expose net/http/pprof and /metrics on this sidecar address (e.g. localhost:6060)")
+
+		stream       = flag.Bool("stream", false, "streaming mode: ingest a live session stream and publish snapshot generations instead of batch epochs")
+		streamTotal  = flag.Int("stream-sessions", 20000, "streaming: sessions to ingest (0 = endless, until SIGINT/SIGTERM)")
+		publishEvery = flag.Int("publish-every", 2000, "streaming: publish a snapshot generation every N ingested sessions")
+		reserveItems = flag.Int("reserve-items", 0, "streaming: not-yet-launched items appended to the catalog, launching over time")
+		launchEvery  = flag.Int("launch-every", 0, "streaming: launch one reserved item every N sessions (0 with -reserve-items = every session)")
+		driftEvery   = flag.Int("drift-every", 0, "streaming: advance popularity drift every N sessions (0 = no drift)")
+		vocabBudget  = flag.Int("vocab-budget", 0, "streaming: admitted-vocabulary budget in embedding rows (0 = full universe dictionary)")
+		admitMin     = flag.Int("admit-min-count", 1, "streaming: estimated count a token needs before earning a row")
+		streamRate   = flag.Float64("stream-rate", 0, "streaming: throttle ingest to N sessions/sec (0 = unthrottled)")
+		serveAddr    = flag.String("serve", "", "streaming: serve the latest snapshot over HTTP on this address, hot-swapped on every publish")
 	)
 	flag.Parse()
 
@@ -117,6 +152,25 @@ func main() {
 	v, err := sisg.VariantByName(*variant)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *stream {
+		runStream(cfg, v, reg, streamParams{
+			total:        *streamTotal,
+			publishEvery: *publishEvery,
+			reserveItems: *reserveItems,
+			launchEvery:  *launchEvery,
+			driftEvery:   *driftEvery,
+			vocabBudget:  *vocabBudget,
+			admitMin:     *admitMin,
+			rate:         *streamRate,
+			serve:        *serveAddr,
+			dim:          *dim,
+			window:       *window,
+			negatives:    *negatives,
+			lr:           *lr,
+		})
+		return
 	}
 
 	log.Printf("generating %s ...", cfg.Name)
@@ -240,4 +294,161 @@ func main() {
 		}
 		log.Printf("exported word2vec text format to %s", *w2vOut)
 	}
+}
+
+// streamParams carries the -stream flag set (plus the shared training
+// hyperparameters) into runStream.
+type streamParams struct {
+	total        int
+	publishEvery int
+	reserveItems int
+	launchEvery  int
+	driftEvery   int
+	vocabBudget  int
+	admitMin     int
+	rate         float64
+	serve        string
+	dim          int
+	window       int
+	negatives    int
+	lr           float64
+}
+
+// runStream is the -stream mode: one ingest loop owns the streamer and the
+// live generator, publishing immutable snapshot generations into a
+// model.Holder; the optional serving tier reads whatever generation the
+// holder currently publishes, so a swap is invisible to in-flight
+// requests. The model lives in those in-memory snapshots — -out and -w2v
+// are not written in this mode.
+func runStream(cfg corpus.Config, v sisg.Variant, reg *metrics.Registry, p streamParams) {
+	if p.publishEvery <= 0 {
+		log.Fatal("-publish-every must be positive")
+	}
+	lv, err := corpus.NewLive(corpus.LiveConfig{
+		Base:         cfg,
+		ReserveItems: p.reserveItems,
+		LaunchEvery:  p.launchEvery,
+		DriftEvery:   p.driftEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := p.vocabBudget
+	if budget <= 0 {
+		budget = lv.Dict.Len()
+	}
+	lo := sgns.LiveDefaults(budget)
+	lo.Dim = p.dim
+	lo.Window = p.window
+	lo.Negatives = p.negatives
+	lo.LR = float32(p.lr)
+	lo.Seed = cfg.Seed
+	st, err := sisg.NewStreamer(lv.Dict, sisg.StreamConfig{
+		Variant: v,
+		Admit:   vocab.AdmitConfig{Budget: budget, MinCount: uint32(p.admitMin)},
+		Live:    lo,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("streaming %s over %s: %d reserved items, vocab budget %d rows",
+		v.Name, cfg.Name, p.reserveItems, budget)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var tick *time.Ticker
+	if p.rate > 0 {
+		tick = time.NewTicker(time.Duration(float64(time.Second) / p.rate))
+		defer tick.Stop()
+	}
+	ingest := func() bool {
+		if tick != nil {
+			select {
+			case <-ctx.Done():
+				return false
+			case <-tick.C:
+			}
+		} else if ctx.Err() != nil {
+			return false
+		}
+		st.Ingest(lv.Next())
+		return true
+	}
+
+	// Warm-up: one publish interval before generation 1 exists, so the
+	// first served snapshot already carries a trained vocabulary.
+	warm := p.publishEvery
+	if p.total > 0 && p.total < warm {
+		warm = p.total
+	}
+	for i := 0; i < warm; i++ {
+		if !ingest() {
+			log.Print("interrupted during warm-up, bye")
+			return
+		}
+	}
+	logGen := func(snap model.Snapshot) {
+		log.Printf("generation %d: %d sessions, %d launched, vocab %d/%d rows, %d items servable, %d Eq.6-seeded, %d pairs",
+			snap.Generation(), st.Sessions(), len(lv.Launched()),
+			snap.VocabSize(), budget, snap.NumItems(), st.SeededItems(), st.Pairs())
+	}
+	first := st.Publish()
+	holder := model.NewHolder(first)
+	logGen(first)
+
+	var s *server.Server
+	var srv *http.Server
+	errc := make(chan error, 1)
+	if p.serve != "" {
+		s = server.NewWithHolder(lv.Dataset(), holder, server.Config{Metrics: reg})
+		srv = &http.Server{Addr: p.serve, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() { errc <- srv.ListenAndServe() }()
+		log.Printf("serving latest generation on %s (hot-swapped on every publish)", p.serve)
+	}
+
+	interrupted := false
+	for n := warm; p.total <= 0 || n < p.total; n++ {
+		if !ingest() {
+			interrupted = true
+			break
+		}
+		if st.Sessions()%uint64(p.publishEvery) == 0 {
+			snap := st.Publish()
+			holder.Publish(snap)
+			logGen(snap)
+		}
+	}
+	if !interrupted && st.Sessions()%uint64(p.publishEvery) != 0 {
+		snap := st.Publish()
+		holder.Publish(snap)
+		logGen(snap)
+	}
+	log.Printf("ingest window done: %d sessions, %d generations published",
+		st.Sessions(), holder.Generation())
+
+	if srv == nil {
+		log.Print("no -serve address; snapshots were in-memory only, bye")
+		return
+	}
+	if !interrupted {
+		log.Printf("serving generation %d until SIGINT/SIGTERM ...", holder.Generation())
+		select {
+		case err := <-errc:
+			log.Fatal(err)
+		case <-ctx.Done():
+		}
+	}
+	stop() // restore default signal behavior: a second signal kills immediately
+	s.SetReady(false)
+	log.Print("signal received, readiness withdrawn, draining ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("drain incomplete: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
 }

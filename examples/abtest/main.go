@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -43,8 +44,14 @@ func main() {
 	}
 
 	arms := map[string]abtest.CandidateFunc{
-		"SISG-F-U-D": func(q, user int32, k int) []knn.Result { return model.SimilarItems(q, k) },
-		"CF":         func(q, user int32, k int) []knn.Result { return cfm.Similar(q, k) },
+		"SISG-F-U-D": func(q, user int32, k int) []knn.Result {
+			rs, err := model.SimilarOne(context.Background(), q, knn.Options{K: k})
+			if err != nil {
+				return nil
+			}
+			return rs
+		},
+		"CF": func(q, user int32, k int) []knn.Result { return cfm.Similar(q, k) },
 	}
 	abCfg := abtest.DefaultConfig()
 	abCfg.ImpressionsPerDay = 4000

@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"sisg/internal/corpus"
+	"sisg/internal/knn"
 	"sisg/internal/sgns"
 	"sisg/internal/sisg"
 )
@@ -76,7 +77,10 @@ func main() {
 	shown := 0
 	for _, id := range cold {
 		it := ds.Catalog.Items[id]
-		recs := model.SimilarItems(id, 5)
+		recs, err := model.SimilarOne(context.Background(), id, knn.Options{K: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
 		sameTop := 0
 		for _, r := range recs {
 			if ds.Catalog.Items[r.ID].Top == it.Top {

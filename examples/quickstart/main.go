@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"sisg/internal/corpus"
+	"sisg/internal/knn"
 	"sisg/internal/sgns"
 	"sisg/internal/sisg"
 )
@@ -44,7 +45,11 @@ func main() {
 	qi := ds.Catalog.Items[query]
 	fmt.Printf("\nquery item_%d (top %d, leaf %d, brand %d, tier %d) — top 5 similar:\n",
 		query, qi.Top, qi.Leaf, qi.Brand, qi.Tier)
-	for i, r := range model.SimilarItems(query, 5) {
+	top5, err := model.SimilarOne(context.Background(), query, knn.Options{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range top5 {
 		it := ds.Catalog.Items[r.ID]
 		fmt.Printf("  #%d item_%-5d score %.3f  (top %d, leaf %d, brand %d, tier %d)\n",
 			i+1, r.ID, r.Score, it.Top, it.Leaf, it.Brand, it.Tier)

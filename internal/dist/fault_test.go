@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -74,7 +75,11 @@ func TestCrashedWorkerRunCompletes(t *testing.T) {
 	split := ds.SplitNextItem(0.5)
 	model := &sisg.Model{Variant: sisg.VariantSISGFUD, Dict: ds.Dict, Emb: m}
 	rec := eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
-		return model.SimilarItems(tc.Query, k)
+		rs, err := model.SimilarOne(context.Background(), tc.Query, knn.Options{K: k})
+		if err != nil {
+			return nil
+		}
+		return rs
 	})
 	res := eval.Evaluate("crashed", rec, split.Test, []int{20})
 	randRec := eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {

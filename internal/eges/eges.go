@@ -342,11 +342,10 @@ func (m *Model) Index() *knn.Index {
 }
 
 // Similar returns the top-k items most similar to query by cosine over H.
-func (m *Model) Similar(query int32, k int) []knn.Result {
-	rs, _ := m.Index().Query(context.Background(), m.H.Row(query), knn.Options{
+func (m *Model) Similar(ctx context.Context, query int32, k int) ([]knn.Result, error) {
+	return m.Index().Query(ctx, m.H.Row(query), knn.Options{
 		K:         k,
 		Normalize: true,
 		Skip:      func(id int32) bool { return id == query },
 	})
-	return rs
 }

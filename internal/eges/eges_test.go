@@ -1,6 +1,7 @@
 package eges
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -108,7 +109,10 @@ func TestSimilarLeafCoherence(t *testing.T) {
 			best, query = c, int32(i)
 		}
 	}
-	recs := m.Similar(query, 10)
+	recs, err := m.Similar(context.Background(), query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := 0
 	for _, r := range recs {
 		if r.ID == query {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sisg/internal/cf"
@@ -43,7 +44,11 @@ func trainEGES(ds *corpus.Dataset, split *corpus.Split, train sgns.Options) (eva
 		return nil, fmt.Errorf("eges: %w", err)
 	}
 	return eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
-		return m.Similar(tc.Query, k)
+		rs, err := m.Similar(context.Background(), tc.Query, k)
+		if err != nil {
+			return nil
+		}
+		return rs
 	}), nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -78,7 +79,11 @@ func RunFig3(cfg corpus.Config, log io.Writer) (*abtest.Result, error) {
 
 	arms := map[string]abtest.CandidateFunc{
 		"SISG-F-U-D": func(q, user int32, k int) []knn.Result {
-			return model.SimilarItems(q, k)
+			rs, err := model.SimilarOne(context.Background(), q, knn.Options{K: k})
+			if err != nil {
+				return nil
+			}
+			return rs
 		},
 		"CF": func(q, user int32, k int) []knn.Result {
 			return cfm.Similar(q, k)

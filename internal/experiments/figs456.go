@@ -234,7 +234,10 @@ func RunFig6(cs *caseStudyModel, out io.Writer) error {
 	warm := warmSample(ds, cs.cold, 300)
 	var overlapSum, coherentTrained, coherentCold float64
 	for _, id := range warm {
-		trained := m.SimilarItems(id, k)
+		trained, err := m.SimilarOne(context.Background(), id, knn.Options{K: k})
+		if err != nil {
+			return fmt.Errorf("fig6 warm item %d: %w", id, err)
+		}
 		qv := m.ColdStartItemVector(siIDs(ds, id))
 		inferred, err := m.SimilarToVector(context.Background(), qv, k, func(c int32) bool { return c == id })
 		if err != nil {

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -110,7 +111,11 @@ func RunTable3(cfg Table3Config, log io.Writer) (*Table3Result, error) {
 		took := time.Since(start)
 		model := m
 		rec := eval.RecommenderFunc(func(tc corpus.TestCase, k int) []knn.Result {
-			return model.SimilarItems(tc.Query, k)
+			rs, err := model.SimilarOne(context.Background(), tc.Query, knn.Options{K: k})
+			if err != nil {
+				return nil
+			}
+			return rs
 		})
 		addRow(v.Name, rec, took)
 		if v.Name == "SGNS" {

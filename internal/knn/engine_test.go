@@ -202,33 +202,6 @@ func TestTieBreakDeterminism(t *testing.T) {
 	}
 }
 
-func TestDeprecatedWrappersDelegate(t *testing.T) {
-	r := rng.New(24)
-	const rows, dim = 300, 8
-	m := emb.NewMatrix(rows, dim)
-	for i := range m.Data() {
-		m.Data()[i] = r.Float32()*2 - 1
-	}
-	ix := NewIndex(m, 0, false)
-	q := m.Row(3)
-
-	sameResults(t, "Search",
-		ix.Search(q, 7, func(id int32) bool { return id == 3 }),
-		queryT(ix, q, Options{K: 7, Skip: func(id int32) bool { return id == 3 }}))
-	sameResults(t, "SearchNormalized",
-		ix.SearchNormalized(q, 7, nil),
-		queryT(ix, q, Options{K: 7, Normalize: true}))
-
-	queries := [][]float32{m.Row(0), m.Row(1), m.Row(2)}
-	batch := ix.SearchBatch(queries, 4, func(qi int, id int32) bool { return int32(qi) == id })
-	for qi := range queries {
-		self := int32(qi)
-		sameResults(t, "SearchBatch",
-			batch[qi],
-			queryT(ix, queries[qi], Options{K: 4, Skip: func(id int32) bool { return id == self }}))
-	}
-}
-
 func BenchmarkQuerySharded50k(b *testing.B) {
 	r := rng.New(25)
 	const rows, dim = 50000, 64

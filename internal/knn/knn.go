@@ -35,9 +35,8 @@
 // completes is bit-identical to an uncancellable one — the checks only
 // ever decide whether to keep going, never what a kept result contains.
 //
-// The single entry points are Query and QueryBatch, both taking a context
-// and Options; Search, SearchNormalized and SearchBatch are deprecated
-// uncancellable wrappers kept for source compatibility.
+// The only entry points are Query and QueryBatch, both taking a context
+// and Options — every read path is cancellable by construction.
 package knn
 
 import (
@@ -523,40 +522,6 @@ func sortResults(rs []Result) {
 		}
 		return rs[a].ID < rs[b].ID
 	})
-}
-
-// Search returns the top-k rows by dot product with query, descending.
-//
-// Deprecated: use Query with Options{K: k, Skip: skip}.
-func (ix *Index) Search(query []float32, k int, skip func(int32) bool) []Result {
-	rs, _ := ix.Query(context.Background(), query, Options{K: k, Skip: skip}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use Query
-	return rs
-}
-
-// SearchNormalized is Search with the query L2-normalized first.
-//
-// Deprecated: use Query with Options{K: k, Normalize: true, Skip: skip}.
-func (ix *Index) SearchNormalized(query []float32, k int, skip func(int32) bool) []Result {
-	rs, _ := ix.Query(context.Background(), query, Options{K: k, Normalize: true, Skip: skip}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use Query
-	return rs
-}
-
-// SearchBatch runs Search for many queries and returns results in query
-// order. skip receives (queryIndex, candidateID).
-//
-// Deprecated: use QueryBatch, whose Options.Skip matches the single-query
-// signature; for per-query exclusion query k+1 and drop the known id.
-func (ix *Index) SearchBatch(queries [][]float32, k int, skip func(int, int32) bool) [][]Result {
-	if skip == nil {
-		out, _ := ix.QueryBatch(context.Background(), queries, Options{K: k}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use QueryBatch
-		return out
-	}
-	out := make([][]Result, len(queries))
-	for i := range queries {
-		qi := i
-		out[i], _ = ix.Query(context.Background(), queries[i], Options{K: k, Skip: func(id int32) bool { return skip(qi, id) }}) //lint:allow ctxflow deprecated ctx-less wrapper; serving paths use Query
-	}
-	return out
 }
 
 // minHeap keeps the k best results with the worst — under the canonical

@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -44,7 +45,10 @@ func TestSearchMatchesBrute(t *testing.T) {
 	idx := NewIndex(m, 0, false)
 	q := randomMatrix(1, 8, 2).Row(0)
 	for _, k := range []int{1, 5, 50, 200, 500} {
-		got := idx.Search(q, k, nil)
+		got, err := idx.Query(context.Background(), q, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := bruteTopK(m, q, k, nil)
 		if len(got) != len(want) {
 			t.Fatalf("k=%d: len %d != %d", k, len(got), len(want))
@@ -61,7 +65,10 @@ func TestSearchSkip(t *testing.T) {
 	m := randomMatrix(50, 4, 3)
 	idx := NewIndex(m, 0, false)
 	q := m.Row(7)
-	got := idx.Search(q, 10, func(id int32) bool { return id == 7 })
+	got, err := idx.Query(context.Background(), q, Options{K: 10, Skip: func(id int32) bool { return id == 7 }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range got {
 		if r.ID == 7 {
 			t.Fatal("skipped ID returned")
@@ -76,7 +83,10 @@ func TestSearchProperty(t *testing.T) {
 		idx := NewIndex(m, 0, false)
 		q := randomMatrix(1, 6, seed^0xabc).Row(0)
 		k := int(kRaw%40) + 1
-		got := idx.Search(q, k, nil)
+		got, err := idx.Query(context.Background(), q, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := bruteTopK(m, q, k, nil)
 		if len(got) != len(want) {
 			return false
@@ -97,7 +107,10 @@ func TestNormalizedSearchIsCosine(t *testing.T) {
 	m := randomMatrix(40, 5, 4)
 	idx := NewIndex(m, 0, true)
 	q := m.Row(11)
-	got := idx.SearchNormalized(q, 1, func(id int32) bool { return id == 11 })
+	got, err := idx.Query(context.Background(), q, Options{K: 1, Normalize: true, Skip: func(id int32) bool { return id == 11 }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Brute force cosine.
 	best, bestCos := int32(-1), float32(-2)
 	for i := 0; i < m.Rows(); i++ {
@@ -119,7 +132,10 @@ func TestRowsBound(t *testing.T) {
 	if idx.Rows() != 30 {
 		t.Fatalf("Rows = %d", idx.Rows())
 	}
-	got := idx.Search(m.Row(0), 100, nil)
+	got, err := idx.Query(context.Background(), m.Row(0), Options{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range got {
 		if r.ID >= 30 {
 			t.Fatalf("returned row %d beyond bound", r.ID)
@@ -130,10 +146,10 @@ func TestRowsBound(t *testing.T) {
 func TestKZeroAndNegative(t *testing.T) {
 	m := randomMatrix(10, 4, 6)
 	idx := NewIndex(m, 0, false)
-	if got := idx.Search(m.Row(0), 0, nil); got != nil {
+	if got, _ := idx.Query(context.Background(), m.Row(0), Options{K: 0}); got != nil {
 		t.Fatal("k=0 should return nil")
 	}
-	if got := idx.Search(m.Row(0), -5, nil); got != nil {
+	if got, _ := idx.Query(context.Background(), m.Row(0), Options{K: -5}); got != nil {
 		t.Fatal("k<0 should return nil")
 	}
 }
@@ -145,12 +161,18 @@ func TestSearchBatch(t *testing.T) {
 	for i := range queries {
 		queries[i] = m.Row(int32(i))
 	}
-	got := idx.SearchBatch(queries, 5, func(qi int, id int32) bool { return int32(qi) == id })
+	got, err := idx.QueryBatch(context.Background(), queries, Options{K: 5, Skip: func(id int32) bool { return id < 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(queries) {
 		t.Fatalf("batch returned %d results", len(got))
 	}
 	for qi, rs := range got {
-		want := idx.Search(queries[qi], 5, func(id int32) bool { return int32(qi) == id })
+		want, err := idx.Query(context.Background(), queries[qi], Options{K: 5, Skip: func(id int32) bool { return id < 0 }})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(rs) != len(want) {
 			t.Fatalf("query %d: len mismatch", qi)
 		}
@@ -166,8 +188,9 @@ func BenchmarkSearch10k(b *testing.B) {
 	m := randomMatrix(10000, 32, 1)
 	idx := NewIndex(m, 0, false)
 	q := m.Row(0)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		idx.Search(q, 20, nil)
+		idx.Query(ctx, q, Options{K: 20})
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sisg/internal/knn"
+	"sisg/internal/model"
 )
 
 // A panicking handler must be answered with a 500 and counted, never kill
@@ -41,12 +42,12 @@ func TestPanicRecovery(t *testing.T) {
 // budget are shed with 503 + Retry-After while the admitted scan proceeds.
 func TestConcurrencyLimiterSheds(t *testing.T) {
 	s, ts := testServer(t)
-	s.adm = &admission{budget: s.flatCost()} // room for exactly one flat scan
+	s.adm = &admission{budget: testFlatCost(s)} // room for exactly one flat scan
 
 	inside := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	s.retrieve = func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
+	s.retrieve = func(ctx context.Context, snap model.Snapshot, item int32, opts knn.Options) ([]knn.Result, error) {
 		once.Do(func() { close(inside) })
 		<-release
 		return nil, nil

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sisg/internal/emb"
+	"sisg/internal/knn"
+	"sisg/internal/model"
+	"sisg/internal/rng"
+)
+
+// swapSnapshot is a synthetic model generation whose every score IS its
+// generation number — so any response mixing two generations (a torn
+// read across a snapshot swap) is detectable from the response body
+// alone, and any response whose X-Model-Generation header disagrees with
+// its scores proves a request was NOT pinned to one snapshot.
+type swapSnapshot struct {
+	gen uint64
+	at  time.Time
+	n   int
+	dim int
+	idx *knn.Index
+}
+
+var _ model.Snapshot = (*swapSnapshot)(nil)
+
+func newSwapSnapshot(gen uint64, n, dim int) *swapSnapshot {
+	m := emb.NewMatrix(n, dim)
+	r := rng.New(gen + 1)
+	for i := range m.Data() {
+		m.Data()[i] = r.Float32()
+	}
+	return &swapSnapshot{gen: gen, at: time.Now(), n: n, dim: dim, idx: knn.NewIndex(m, n, false)}
+}
+
+func (s *swapSnapshot) Generation() uint64       { return s.gen }
+func (s *swapSnapshot) PublishedAt() time.Time   { return s.at }
+func (s *swapSnapshot) Variant() string          { return "swap-test" }
+func (s *swapSnapshot) Dim() int                 { return s.dim }
+func (s *swapSnapshot) VocabSize() int           { return s.n }
+func (s *swapSnapshot) NumItems() int            { return s.n }
+func (s *swapSnapshot) Servable(item int32) bool { return item >= 0 && int(item) < s.n }
+func (s *swapSnapshot) Index() *knn.Index        { return s.idx }
+
+func (s *swapSnapshot) results(seed int32, k int) []knn.Result {
+	rs := make([]knn.Result, k)
+	for j := range rs {
+		rs[j] = knn.Result{ID: (seed + int32(j) + 1) % int32(s.n), Score: float32(s.gen)}
+	}
+	return rs
+}
+
+func (s *swapSnapshot) Similar(ctx context.Context, seeds []int32, opts knn.Options) ([][]knn.Result, error) {
+	out := make([][]knn.Result, len(seeds))
+	for i, seed := range seeds {
+		if !s.Servable(seed) {
+			return nil, model.ErrNotServable
+		}
+		out[i] = s.results(seed, opts.K)
+	}
+	return out, nil
+}
+
+func (s *swapSnapshot) SimilarToVector(ctx context.Context, qv []float32, k int, skip func(int32) bool) ([]knn.Result, error) {
+	return s.results(0, k), nil
+}
+
+func (s *swapSnapshot) ColdItemVector(item int32) ([]float32, error) {
+	if !s.Servable(item) {
+		return nil, model.ErrNotServable
+	}
+	return make([]float32, s.dim), nil
+}
+
+func (s *swapSnapshot) ColdItemVectorFromNames(names []string) ([]float32, error) {
+	return make([]float32, s.dim), nil
+}
+
+func (s *swapSnapshot) RecommendForColdUser(ctx context.Context, types []int32, k int) ([]knn.Result, error) {
+	return s.results(0, k), nil
+}
+
+// TestHotSwapServing is the zero-downtime proof: /v1/similar is hammered
+// from many goroutines while snapshots swap every couple of milliseconds.
+// Every response must be a 200 whose body is consistent with exactly one
+// generation (the one its X-Model-Generation header names), swaps must
+// actually land mid-hammer, and once traffic stops every displaced
+// generation must have been retired — only the current one stays live.
+// Run under -race this also proves the holder's memory publication.
+func TestHotSwapServing(t *testing.T) {
+	const (
+		items     = 64
+		dim       = 8
+		publishes = 120
+		hammerers = 8
+	)
+	holder := model.NewHolder(newSwapSnapshot(1, items, dim))
+	ds := testDataset(t)
+	if ds.Dict.NumItems < items {
+		t.Fatalf("test corpus too small: %d items", ds.Dict.NumItems)
+	}
+	s := NewWithHolder(ds, holder, Config{MaxK: 100, CacheSize: 32})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var published atomic.Uint64
+	published.Store(1)
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for g := uint64(2); g <= publishes; g++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			holder.Publish(newSwapSnapshot(g, items, dim))
+			published.Store(g)
+		}
+	}()
+
+	type verdict struct {
+		bad  string
+		gens map[uint64]bool
+	}
+	verdicts := make(chan verdict, hammerers)
+	var wg sync.WaitGroup
+	for h := 0; h < hammerers; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			v := verdict{gens: map[uint64]bool{}}
+			defer func() { verdicts <- v }()
+			for i := 0; published.Load() < publishes; i++ {
+				item := (h*7 + i) % items
+				resp, err := http.Get(ts.URL + "/v1/similar?item=" + strconv.Itoa(item) + "&k=5")
+				if err != nil {
+					v.bad = "transport error: " + err.Error()
+					return
+				}
+				var cands []Candidate
+				decErr := json.NewDecoder(resp.Body).Decode(&cands)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					v.bad = "status " + strconv.Itoa(resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					v.bad = "bad body: " + decErr.Error()
+					return
+				}
+				gen, err := strconv.ParseUint(resp.Header.Get("X-Model-Generation"), 10, 64)
+				if err != nil {
+					v.bad = "bad X-Model-Generation: " + err.Error()
+					return
+				}
+				v.gens[gen] = true
+				for _, c := range cands {
+					if c.Score != float32(gen) {
+						v.bad = "torn read: header generation " + strconv.FormatUint(gen, 10) +
+							", score from generation " + strconv.Itoa(int(c.Score))
+						return
+					}
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	close(stop)
+	pubWG.Wait()
+
+	distinct := map[uint64]bool{}
+	for h := 0; h < hammerers; h++ {
+		v := <-verdicts
+		if v.bad != "" {
+			t.Fatal(v.bad)
+		}
+		for g := range v.gens {
+			distinct[g] = true
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("hammer saw only %d generation(s); swaps did not land mid-traffic", len(distinct))
+	}
+
+	// Drained: no readers, exactly the current generation live, and every
+	// displaced snapshot retired.
+	deadline := time.Now().Add(5 * time.Second)
+	for holder.Readers() != 0 || holder.LiveGenerations() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("after drain: %d readers, %d live generations",
+				holder.Readers(), holder.LiveGenerations())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, want := holder.Retired(), published.Load()-1; got != want {
+		t.Fatalf("retired %d generations, want %d", got, want)
+	}
+}

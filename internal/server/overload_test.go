@@ -12,6 +12,7 @@ import (
 
 	"sisg/internal/knn"
 	"sisg/internal/metrics"
+	"sisg/internal/model"
 )
 
 // waitFor polls cond until it holds or the deadline passes; failing the
@@ -39,14 +40,14 @@ func TestSingleFlightCoalescesIdenticalSeeds(t *testing.T) {
 	started := make(chan struct{}, 4)
 	gate := make(chan struct{})
 	real := s.retrieve
-	s.retrieve = func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
+	s.retrieve = func(ctx context.Context, snap model.Snapshot, item int32, opts knn.Options) ([]knn.Result, error) {
 		scans.Add(1)
 		started <- struct{}{}
 		<-gate
-		return real(ctx, item, k, opts)
+		return real(ctx, snap, item, opts)
 	}
 
-	key := uint64(uint32(5))<<32 | uint64(uint32(7))
+	key := flightKey{gen: 1, item: 5, k: 7}
 	type reply struct {
 		code int
 		body string
@@ -97,15 +98,15 @@ func TestSingleFlightCoalescesIdenticalSeeds(t *testing.T) {
 // against a budget of exactly one scan.
 func TestClientDisconnectFreesAdmissionBudget(t *testing.T) {
 	s, ts := testServer(t)
-	s.adm = &admission{budget: s.flatCost()} // room for exactly one scan
+	s.adm = &admission{budget: testFlatCost(s)} // room for exactly one scan
 
 	started := make(chan struct{}, 1)
 	var blocking atomic.Bool
 	blocking.Store(true)
 	real := s.retrieve
-	s.retrieve = func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
+	s.retrieve = func(ctx context.Context, snap model.Snapshot, item int32, opts knn.Options) ([]knn.Result, error) {
 		if !blocking.Load() {
-			return real(ctx, item, k, opts)
+			return real(ctx, snap, item, opts)
 		}
 		started <- struct{}{}
 		// Emulate the engine: park until cancelled, return its sentinel.
@@ -161,13 +162,13 @@ func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
 	var calls atomic.Int64
 	started := make(chan struct{}, 2)
 	real := s.retrieve
-	s.retrieve = func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
+	s.retrieve = func(ctx context.Context, snap model.Snapshot, item int32, opts knn.Options) ([]knn.Result, error) {
 		if calls.Add(1) == 1 {
 			started <- struct{}{}
 			<-ctx.Done() // first scan: park until the leader's client hangs up
 			return nil, fmt.Errorf("%w: %w", knn.ErrCanceled, ctx.Err())
 		}
-		return real(ctx, item, k, opts)
+		return real(ctx, snap, item, opts)
 	}
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
@@ -185,7 +186,7 @@ func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
 	}()
 	<-started
 
-	key := uint64(uint32(6))<<32 | uint64(uint32(4))
+	key := flightKey{gen: 1, item: 6, k: 4}
 	followerDone := make(chan struct {
 		code int
 		body string
@@ -388,8 +389,10 @@ func TestBrownoutDegradedServing(t *testing.T) {
 // single flat scan would exhaust.
 func TestAdmissionAllowsCheapScansUnderFlatBudget(t *testing.T) {
 	s, _ := testServer(t)
-	flat := s.flatCost()
-	ivf := s.index.PredictedCost(knn.Options{K: 5, Index: knn.IndexIVF})
+	flat := testFlatCost(s)
+	snap, releaseSnap := s.models.Acquire()
+	ivf := snap.Index().PredictedCost(knn.Options{K: 5, Index: knn.IndexIVF})
+	releaseSnap()
 	if ivf >= flat {
 		t.Fatalf("IVF probe cost %d not cheaper than flat %d on this corpus", ivf, flat)
 	}

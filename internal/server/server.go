@@ -35,6 +35,7 @@ import (
 	"sisg/internal/corpus"
 	"sisg/internal/knn"
 	"sisg/internal/metrics"
+	"sisg/internal/model"
 	"sisg/internal/sisg"
 )
 
@@ -63,6 +64,14 @@ type Stats struct {
 	// Canceled counts retrievals abandoned because the client went away;
 	// they are answered 499, never counted as server errors.
 	Canceled uint64 `json:"canceled"`
+	// ModelGeneration is the generation of the snapshot currently being
+	// handed to new requests; SnapshotAgeSeconds is how long ago it was
+	// published and VocabSize how many tokens it embeds. Under streaming
+	// training the generation climbs with every publish; a batch server
+	// reports generation 1 forever.
+	ModelGeneration    uint64  `json:"model_generation"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	VocabSize          int     `json:"vocab_size"`
 	// Degraded reports whether /v1/similar is currently in brownout
 	// (default scans downgraded from exact flat to IVF).
 	Degraded bool `json:"degraded"`
@@ -166,13 +175,17 @@ type endpointMetrics struct {
 	codes   map[string]*metrics.Counter // "2xx", "3xx", "4xx", "5xx"
 }
 
-// Server serves one trained model over one catalog.
+// Server serves the current model snapshot over one catalog. Snapshots
+// rotate through a model.Holder: every request pins the snapshot it
+// arrived at (an atomic acquire, no lock) and uses only that generation
+// for its whole lifetime, so a publish mid-request never blocks, never
+// tears a response across two models, and retires the displaced
+// generation as soon as its last in-flight reader finishes.
 type Server struct {
-	ds    *corpus.Dataset
-	model *sisg.Model
-	maxK  int
-	cfg   Config
-	index *knn.Index // the item index, built eagerly at construction
+	ds     *corpus.Dataset
+	models *model.Holder
+	maxK   int
+	cfg    Config
 
 	adm     *admission     // cost-based concurrency limiter
 	flights [2]flightGroup // single-flight groups: [0] exact, [1] degraded
@@ -180,10 +193,10 @@ type Server struct {
 	lat     *metrics.EWMA // retrieval latency EWMA, seconds
 	press   *metrics.EWMA // admission pressure EWMA, 0..~1
 
-	// retrieve is the seam overload tests hook: it defaults to the model's
-	// SimilarItemsOpts (plus the configured RetrievalDelay) and is only
-	// ever replaced inside this package's tests.
-	retrieve func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error)
+	// retrieve is the seam overload tests hook: it defaults to the pinned
+	// snapshot's Similar (plus the configured RetrievalDelay) and is only
+	// ever replaced inside this package's tests. opts.K carries k.
+	retrieve func(ctx context.Context, snap model.Snapshot, item int32, opts knn.Options) ([]knn.Result, error)
 
 	inflightReqs atomic.Int64  // requests currently executing (all endpoints)
 	shedSeq      atomic.Uint64 // per-shed sequence feeding Retry-After jitter
@@ -210,13 +223,47 @@ type Server struct {
 
 	endpoints map[string]*endpointMetrics
 
-	// cache, when non-nil, memoizes /similar result sets keyed by
-	// (item, k); values are shared read-only slices.
-	cache        *knn.LRU
+	// cache, when CacheSize > 0, memoizes /similar result sets keyed by
+	// (item, k) — scoped to ONE model generation. A publish invalidates
+	// the whole cache by construction: the first request pinned to the
+	// new generation CAS-installs a fresh LRU, and requests still pinned
+	// to an older generation simply bypass caching (they are a dying
+	// breed; warming a retired generation's cache is wasted memory).
+	cache        atomic.Pointer[genCache]
 	cacheHits    *metrics.Counter
 	cacheMisses  *metrics.Counter
 	scanSeconds  *metrics.Histogram
 	cacheSeconds *metrics.Histogram
+}
+
+// genCache is one generation's result cache.
+type genCache struct {
+	gen uint64
+	lru *knn.LRU
+}
+
+// cacheFor returns the LRU for the given generation, installing a fresh
+// one when gen is newer than the cached generation. Requests pinned to an
+// older generation than the cache get nil (uncached).
+func (s *Server) cacheFor(gen uint64) *knn.LRU {
+	if s.cfg.CacheSize <= 0 {
+		return nil
+	}
+	for {
+		cur := s.cache.Load()
+		if cur != nil {
+			if cur.gen == gen {
+				return cur.lru
+			}
+			if cur.gen > gen {
+				return nil
+			}
+		}
+		next := &genCache{gen: gen, lru: knn.NewLRU(s.cfg.CacheSize)}
+		if s.cache.CompareAndSwap(cur, next) {
+			return next.lru
+		}
+	}
 }
 
 // knownPaths are the routes instrumented with their own label value;
@@ -232,20 +279,27 @@ var knownPaths = []string{
 // New returns a server for the given dataset and model with default
 // hardening. maxK bounds the candidate-set size a single request may ask
 // for (<=0 means 1000).
-func New(ds *corpus.Dataset, model *sisg.Model, maxK int) *Server {
-	return NewConfigured(ds, model, Config{MaxK: maxK})
+func New(ds *corpus.Dataset, m *sisg.Model, maxK int) *Server {
+	return NewConfigured(ds, m, Config{MaxK: maxK})
 }
 
-// NewConfigured returns a server with explicit hardening limits.
-func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
+// NewConfigured returns a server with explicit hardening limits. The
+// batch model is wrapped as the holder's sole generation; NewWithHolder
+// is the streaming entry point where generations actually rotate.
+func NewConfigured(ds *corpus.Dataset, m *sisg.Model, cfg Config) *Server {
+	return NewWithHolder(ds, model.NewHolder(sisg.NewModelSnapshot(m, 1)), cfg)
+}
+
+// NewWithHolder returns a server reading whatever snapshot the holder
+// currently publishes. The caller keeps the holder and feeds it new
+// generations (model.Holder.Publish); swaps are invisible to in-flight
+// requests.
+func NewWithHolder(ds *corpus.Dataset, models *model.Holder, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Metrics
 	s := &Server{
-		ds: ds, model: model, maxK: cfg.MaxK, cfg: cfg,
-		// Build the item index now: lazy first-request builds would race
-		// under concurrent traffic and distort first-request latency.
-		index: model.ItemIndex(),
-		reg:   reg,
+		ds: ds, models: models, maxK: cfg.MaxK, cfg: cfg,
+		reg: reg,
 
 		similar:      reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/similar")),
 		coldItem:     reg.Counter("serve_candidates_total", "candidate sets served, by retrieval path", metrics.L("path", "/coldstart/item")),
@@ -263,7 +317,9 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 	}
 	budget := cfg.CostBudget
 	if budget <= 0 {
-		flat := s.flatCost()
+		snap, release := models.Acquire()
+		flat := flatCost(snap)
+		release()
 		if budget = int64(cfg.MaxInFlight) * flat; budget < flat {
 			budget = flat // overflow or degenerate config: one scan at a time
 		}
@@ -279,11 +335,15 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 		entered:   s.brownEntered,
 		exited:    s.brownExited,
 	}
-	s.retrieve = func(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
+	s.retrieve = func(ctx context.Context, snap model.Snapshot, item int32, opts knn.Options) ([]knn.Result, error) {
 		if err := s.retrievalDelay(ctx); err != nil {
 			return nil, err
 		}
-		return s.model.SimilarItemsOpts(ctx, item, k, opts)
+		rs, err := snap.Similar(ctx, []int32{item}, opts)
+		if err != nil {
+			return nil, err
+		}
+		return rs[0], nil
 	}
 	for _, p := range append(append([]string(nil), knownPaths...), "other") {
 		em := &endpointMetrics{
@@ -298,6 +358,15 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 	}
 	reg.GaugeFunc("http_inflight", "requests currently executing", func() float64 {
 		return float64(s.inflightReqs.Load())
+	})
+	reg.GaugeFunc("model_generation", "generation of the snapshot handed to new requests", func() float64 {
+		return float64(s.models.Generation())
+	})
+	reg.GaugeFunc("model_swaps_total", "snapshot publishes since start (monotone)", func() float64 {
+		return float64(s.models.Swaps())
+	})
+	reg.GaugeFunc("model_snapshot_readers", "requests currently pinning a snapshot", func() float64 {
+		return float64(s.models.Readers())
 	})
 	reg.GaugeFunc("admission_cost_inflight", "predicted retrieval cost currently admitted (rows×dims units)", func() float64 {
 		return float64(s.adm.inflight.Load())
@@ -317,21 +386,23 @@ func NewConfigured(ds *corpus.Dataset, model *sisg.Model, cfg Config) *Server {
 	s.scanSeconds = reg.Histogram("retrieval_seconds", "similar-item retrieval latency, by source", cfg.LatencyBuckets, metrics.L("source", "scan"))
 	s.cacheSeconds = reg.Histogram("retrieval_seconds", "similar-item retrieval latency, by source", cfg.LatencyBuckets, metrics.L("source", "cache"))
 	if cfg.CacheSize > 0 {
-		s.cache = knn.NewLRU(cfg.CacheSize)
 		s.cacheHits = reg.Counter("retrieval_cache_hits_total", "/similar requests answered from the result cache")
 		s.cacheMisses = reg.Counter("retrieval_cache_misses_total", "/similar requests that fell through to a full scan")
 		reg.GaugeFunc("retrieval_cache_entries", "entries currently held by the /similar result cache", func() float64 {
-			return float64(s.cache.Len())
+			if c := s.cache.Load(); c != nil {
+				return float64(c.lru.Len())
+			}
+			return 0
 		})
 	}
 	return s
 }
 
-// flatCost is the predicted cost of one full flat scan over the item
-// index — the admission unit MaxInFlight is denominated in, and the cost
-// charged for cold-start retrievals (always exact vector scans).
-func (s *Server) flatCost() int64 {
-	c := s.index.PredictedCost(knn.Options{K: 1})
+// flatCost is the predicted cost of one full flat scan over a snapshot's
+// item index — the admission unit MaxInFlight is denominated in, and the
+// cost charged for cold-start retrievals (always exact vector scans).
+func flatCost(snap model.Snapshot) int64 {
+	c := snap.Index().PredictedCost(knn.Options{K: 1})
 	if c < 1 {
 		c = 1
 	}
@@ -567,6 +638,12 @@ func (s *Server) loadSample() {
 // here lands on the discarded inner recorder); anything else → 500.
 func (s *Server) retrievalError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, model.ErrNotServable):
+		// The pinned snapshot does not embed this item (yet): a client
+		// outcome, not a server fault — streaming admission may serve it
+		// one generation later.
+		s.clientErrors.Inc()
+		writeError(w, http.StatusNotFound, "not_servable", "item not servable by the current model generation")
 	case errors.Is(err, errShed):
 		s.writeShed(w)
 	case errors.Is(err, context.Canceled):
@@ -582,7 +659,13 @@ func (s *Server) retrievalError(w http.ResponseWriter, err error) {
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
+	snap, release := s.models.Acquire()
+	defer release()
 	return Stats{
+		ModelGeneration:    snap.Generation(),
+		SnapshotAgeSeconds: time.Since(snap.PublishedAt()).Seconds(),
+		VocabSize:          snap.VocabSize(),
+
 		Similar:         s.similar.Value(),
 		ColdItem:        s.coldItem.Value(),
 		ColdUser:        s.coldUser.Value(),
@@ -598,12 +681,15 @@ func (s *Server) Stats() Stats {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.models.Acquire()
+	defer release()
 	writeJSON(w, map[string]interface{}{
-		"status":  "ok",
-		"variant": s.model.Variant.Name,
-		"items":   s.ds.Dict.NumItems,
-		"vocab":   s.ds.Dict.Len(),
-		"dim":     s.model.Emb.Dim(),
+		"status":     "ok",
+		"variant":    snap.Variant(),
+		"items":      snap.NumItems(),
+		"vocab":      snap.VocabSize(),
+		"dim":        snap.Dim(),
+		"generation": snap.Generation(),
 	})
 }
 
@@ -631,6 +717,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	// Pin the current snapshot for the whole request: a publish landing
+	// mid-request swaps the holder without blocking, and this request
+	// keeps reading the generation it arrived at.
+	snap, release := s.models.Acquire()
+	defer release()
+	w.Header().Set("X-Model-Generation", strconv.FormatUint(snap.Generation(), 10))
+
 	item, k, ok := s.itemAndK(w, r)
 	if !ok {
 		return
@@ -645,7 +738,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	// brownout and coalescing — the client asked for one specific scan —
 	// but is still admitted by cost and cancelled with the request.
 	if opts.Index != "" {
-		recs, err := s.admittedRetrieve(r.Context(), item, k, opts)
+		recs, err := s.admittedRetrieve(r.Context(), snap, item, opts)
 		if err != nil {
 			s.retrievalError(w, err)
 			return
@@ -656,15 +749,19 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Default path: cache, then single-flight in front of the scan. Only
-	// the exact default scan is cached: ANN answers depend on
-	// index/nprobe/quantized, and folding those into the key would let
-	// approximate results shadow exact ones (and vice versa). Cached
-	// results are served even during brownout — they are exact and cost
-	// nothing, which is the whole point of keeping them.
-	key := uint64(uint32(item))<<32 | uint64(uint32(k))
-	if s.cache != nil {
-		if recs, hit := s.cache.Get(key); hit {
+	// Default path: cache, then single-flight in front of the scan. Both
+	// are scoped to the pinned generation — the cache by construction
+	// (cacheFor), the flight by key — so two generations' answers can
+	// never coalesce or shadow one another across a swap. Only the exact
+	// default scan is cached: ANN answers depend on index/nprobe/quantized,
+	// and folding those into the key would let approximate results shadow
+	// exact ones (and vice versa). Cached results are served even during
+	// brownout — they are exact and cost nothing, which is the whole point
+	// of keeping them.
+	key := flightKey{gen: snap.Generation(), item: item, k: int32(k)}
+	cache := s.cacheFor(snap.Generation())
+	if cache != nil {
+		if recs, hit := cache.Get(key.cacheKey()); hit {
 			s.cacheHits.Inc()
 			s.similar.Inc()
 			s.cacheSeconds.ObserveSince(start)
@@ -691,10 +788,10 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	)
 	for attempt := 0; ; attempt++ {
 		recs, shared, err = group.do(r.Context(), key, func() ([]knn.Result, error) {
-			if s.cache != nil {
+			if cache != nil {
 				s.cacheMisses.Inc()
 			}
-			return s.admittedRetrieve(r.Context(), item, k, scanOpts)
+			return s.admittedRetrieve(r.Context(), snap, item, scanOpts)
 		})
 		// A follower handed its leader's cancellation while this client is
 		// still here retries once as the new leader: the leader's client
@@ -715,9 +812,9 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if degraded {
 		// The accuracy contract changed; say so in-band.
 		w.Header().Set("X-Degraded", "ivf")
-	} else if s.cache != nil && !shared {
+	} else if cache != nil && !shared {
 		// Only the leader fills the cache, and only with exact results.
-		s.cache.Put(key, recs)
+		cache.Put(key.cacheKey(), recs)
 	}
 	s.scanSeconds.ObserveSince(start)
 	s.writeCandidates(w, recs)
@@ -725,10 +822,11 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 
 // admittedRetrieve runs one retrieval under the admission controller: the
 // predicted cost of the scan is acquired (or the call sheds with errShed),
-// the scan runs on the request context, and completion feeds the latency
-// EWMA and brownout machine before the cost is released.
-func (s *Server) admittedRetrieve(ctx context.Context, item int32, k int, opts knn.Options) ([]knn.Result, error) {
-	cost := s.index.PredictedCost(opts)
+// the scan runs on the request context against the pinned snapshot, and
+// completion feeds the latency EWMA and brownout machine before the cost
+// is released. opts.K carries the candidate-set size.
+func (s *Server) admittedRetrieve(ctx context.Context, snap model.Snapshot, item int32, opts knn.Options) ([]knn.Result, error) {
+	cost := snap.Index().PredictedCost(opts)
 	if cost < 1 {
 		cost = 1
 	}
@@ -738,7 +836,7 @@ func (s *Server) admittedRetrieve(ctx context.Context, item int32, k int, opts k
 	}
 	start := time.Now()
 	defer s.finishRetrieval(start, cost)
-	return s.retrieve(ctx, item, k, opts)
+	return s.retrieve(ctx, snap, item, opts)
 }
 
 // annOptions parses the retrieval-strategy query parameters (index,
@@ -778,6 +876,9 @@ type coldItemRequest struct {
 }
 
 func (s *Server) handleColdItem(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.models.Acquire()
+	defer release()
+	w.Header().Set("X-Model-Generation", strconv.FormatUint(snap.Generation(), 10))
 	if r.Method == http.MethodPost {
 		var req coldItemRequest
 		if !s.decodeBody(w, r, &req) {
@@ -791,12 +892,12 @@ func (s *Server) handleColdItem(w http.ResponseWriter, r *http.Request) {
 			s.clientError(w, "si must name at least one side-information token")
 			return
 		}
-		qv, err := s.model.ColdStartItemVectorFromNames(req.SI)
+		qv, err := snap.ColdItemVectorFromNames(req.SI)
 		if err != nil {
 			s.clientError(w, "%v", err)
 			return
 		}
-		recs, err := s.admittedVectorRetrieve(r.Context(), qv, k, nil)
+		recs, err := s.admittedVectorRetrieve(r.Context(), snap, qv, k, nil)
 		if err != nil {
 			s.retrievalError(w, err)
 			return
@@ -809,8 +910,12 @@ func (s *Server) handleColdItem(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	qv := s.model.ColdStartItemVector(s.ds.Dict.ItemSI[item])
-	recs, err := s.admittedVectorRetrieve(r.Context(), qv, k, func(id int32) bool { return id == item })
+	qv, err := snap.ColdItemVector(item)
+	if err != nil {
+		s.retrievalError(w, err)
+		return
+	}
+	recs, err := s.admittedVectorRetrieve(r.Context(), snap, qv, k, func(id int32) bool { return id == item })
 	if err != nil {
 		s.retrievalError(w, err)
 		return
@@ -821,8 +926,8 @@ func (s *Server) handleColdItem(w http.ResponseWriter, r *http.Request) {
 
 // admittedVectorRetrieve is admittedRetrieve for the cold-start paths:
 // always an exact vector scan, so always charged one flat-scan cost.
-func (s *Server) admittedVectorRetrieve(ctx context.Context, qv []float32, k int, skip func(int32) bool) ([]knn.Result, error) {
-	cost := s.flatCost()
+func (s *Server) admittedVectorRetrieve(ctx context.Context, snap model.Snapshot, qv []float32, k int, skip func(int32) bool) ([]knn.Result, error) {
+	cost := flatCost(snap)
 	s.loadSample()
 	if !s.adm.tryAcquire(cost) {
 		return nil, errShed
@@ -832,7 +937,7 @@ func (s *Server) admittedVectorRetrieve(ctx context.Context, qv []float32, k int
 	if err := s.retrievalDelay(ctx); err != nil {
 		return nil, err
 	}
-	return s.model.SimilarToVector(ctx, qv, k, skip)
+	return snap.SimilarToVector(ctx, qv, k, skip)
 }
 
 // coldUserRequest is the POST body of /coldstart/user. Age and Power are
@@ -888,7 +993,10 @@ func (s *Server) handleColdUser(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, "sisg: no matching user types")
 		return
 	}
-	cost := s.flatCost()
+	snap, release := s.models.Acquire()
+	defer release()
+	w.Header().Set("X-Model-Generation", strconv.FormatUint(snap.Generation(), 10))
+	cost := flatCost(snap)
 	s.loadSample()
 	if !s.adm.tryAcquire(cost) {
 		s.writeShed(w)
@@ -900,7 +1008,7 @@ func (s *Server) handleColdUser(w http.ResponseWriter, r *http.Request) {
 		if err := s.retrievalDelay(r.Context()); err != nil {
 			return nil, err
 		}
-		return s.model.RecommendForColdUser(r.Context(), types, k)
+		return snap.RecommendForColdUser(r.Context(), types, k)
 	}()
 	if err != nil {
 		s.retrievalError(w, err)

@@ -11,7 +11,7 @@ import (
 	"sisg/internal/sisg"
 )
 
-func testServer(t *testing.T) (*Server, *httptest.Server) {
+func testDataset(t *testing.T) *corpus.Dataset {
 	t.Helper()
 	cfg := corpus.Tiny()
 	cfg.NumSessions = 1500
@@ -19,6 +19,12 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return ds
+}
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	ds := testDataset(t)
 	opt := sgns.Defaults()
 	opt.Epochs = 1
 	m, err := sisg.Train(ds.Dict, ds.Sessions, sisg.VariantSISGFUD, opt)
@@ -29,6 +35,22 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// testModel unwraps the batch model behind the server's current snapshot
+// so tests can build sibling servers over the same embeddings.
+func testModel(s *Server) *sisg.Model {
+	snap, release := s.models.Acquire()
+	defer release()
+	return snap.(*sisg.ModelSnapshot).Model()
+}
+
+// testFlatCost is the predicted cost of one flat scan over the server's
+// current snapshot, for sizing admission budgets in tests.
+func testFlatCost(s *Server) int64 {
+	snap, release := s.models.Acquire()
+	defer release()
+	return flatCost(snap)
 }
 
 func getJSON(t *testing.T, url string, v interface{}) *http.Response {
@@ -175,7 +197,10 @@ func TestStatsCounters(t *testing.T) {
 	if st.Similar != 1 || st.ColdItem != 1 || st.ColdUser != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
-	if s.Stats() != st {
+	local := s.Stats()
+	// The snapshot age ticks in real time; normalize it before comparing.
+	local.SnapshotAgeSeconds, st.SnapshotAgeSeconds = 0, 0
+	if local != st {
 		t.Fatal("endpoint and snapshot disagree")
 	}
 }

@@ -19,6 +19,22 @@ type flightCall struct {
 	err     error
 }
 
+// flightKey identifies one coalescable retrieval: the (item, k) pair AND
+// the model generation the caller pinned. Scoping flights by generation
+// means a request that raced a snapshot swap can never be handed a result
+// computed against a different model than the one it pinned.
+type flightKey struct {
+	gen  uint64
+	item int32
+	k    int32
+}
+
+// cacheKey folds the (item, k) pair into the LRU's uint64 key space; the
+// generation is omitted because each generation owns a whole LRU.
+func (k flightKey) cacheKey() uint64 {
+	return uint64(uint32(k.item))<<32 | uint64(uint32(k.k))
+}
+
 // flightGroup coalesces concurrent identical retrievals: the first caller
 // for a key becomes the leader and runs the work; everyone else arriving
 // before it finishes becomes a follower and shares the leader's result.
@@ -28,7 +44,7 @@ type flightCall struct {
 // not a cache), so memory is bounded by concurrency.
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[uint64]*flightCall
+	calls map[flightKey]*flightCall
 }
 
 // do runs fn for key, coalescing concurrent callers. It returns the
@@ -41,10 +57,10 @@ type flightGroup struct {
 // as-is — including a cancellation error when the leader's client went
 // away mid-scan; callers that outlive such a leader retry the key once,
 // becoming the new leader (see handleSimilar).
-func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]knn.Result, error)) (recs []knn.Result, shared bool, err error) {
+func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() ([]knn.Result, error)) (recs []knn.Result, shared bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
-		g.calls = make(map[uint64]*flightCall)
+		g.calls = make(map[flightKey]*flightCall)
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
@@ -72,7 +88,7 @@ func (g *flightGroup) do(ctx context.Context, key uint64, fn func() ([]knn.Resul
 
 // waiting reports how many followers are parked on key's in-flight call
 // right now (0 when no call is in flight). Test-only observability.
-func (g *flightGroup) waiting(key uint64) int32 {
+func (g *flightGroup) waiting(key flightKey) int32 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.calls[key]; ok {

@@ -1,0 +1,302 @@
+// Incremental SGNS: the streaming counterpart of Train/Resume.
+//
+// A Live trainer owns a fixed-capacity embedding model (rows = the
+// vocabulary admission budget) and consumes token-row sequences one at a
+// time, applying the same reduced-window/subsample/negative-sampling
+// updates as the batch trainer — but with a constant learning rate (a
+// stream has no "fraction done" to decay over; word2vec's decay exists to
+// anneal a finite corpus) and a noise distribution rebuilt periodically
+// from the live counts instead of once up front. Training is
+// single-threaded by design: determinism is the contract (the same stream
+// produces the same matrix, bit for bit), and snapshot cuts need a
+// quiescent matrix anyway.
+package sgns
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sisg/internal/alias"
+	"sisg/internal/emb"
+	"sisg/internal/rng"
+	"sisg/internal/vecmath"
+	"sisg/internal/vocab"
+)
+
+// LiveOptions configures an incremental trainer.
+type LiveOptions struct {
+	Capacity   int     // embedding rows (the vocabulary budget); must be positive
+	Dim        int     // embedding dimension
+	Window     int     // context window, in enriched-token units
+	Negatives  int     // negatives per positive pair
+	LR         float32 // constant streaming learning rate
+	SubsampleT float64 // Mikolov subsampling threshold; 0 disables
+	SIBoost    float64 // keep-prob multiplier for non-item rows (≤1)
+	NoiseAlpha float64 // unigram exponent for negative sampling
+	Stride     int     // reduced-window stride (1+NumSIColumns for SI variants)
+	Directed   bool    // right-window sampling (§II-C)
+	Seed       uint64
+	// RebuildEvery re-derives the negative-sampling alias table after this
+	// many consumed tokens. Rows admitted since the last rebuild train as
+	// targets immediately but are not drawn as negatives until the next
+	// rebuild — the streaming analogue of word2vec building its table from
+	// a frozen vocabulary. <=0 means 4096.
+	RebuildEvery uint64
+}
+
+// LiveDefaults mirrors the batch Defaults for the fields both share.
+func LiveDefaults(capacity int) LiveOptions {
+	return LiveOptions{
+		Capacity:     capacity,
+		Dim:          32,
+		Window:       5,
+		Negatives:    5,
+		LR:           0.025,
+		SubsampleT:   1e-3,
+		SIBoost:      0.5,
+		NoiseAlpha:   0.75,
+		Seed:         1,
+		RebuildEvery: 4096,
+	}
+}
+
+func (o *LiveOptions) validate() error {
+	switch {
+	case o.Capacity <= 0:
+		return errors.New("sgns: Capacity must be positive")
+	case o.Dim <= 0:
+		return errors.New("sgns: Dim must be positive")
+	case o.Window <= 0:
+		return errors.New("sgns: Window must be positive")
+	case o.Negatives < 0:
+		return errors.New("sgns: Negatives must be non-negative")
+	case o.LR <= 0:
+		return errors.New("sgns: LR must be positive")
+	case o.SIBoost < 0 || o.SIBoost > 1:
+		return errors.New("sgns: SIBoost out of [0,1]")
+	case o.NoiseAlpha <= 0:
+		return errors.New("sgns: NoiseAlpha must be positive")
+	}
+	return nil
+}
+
+// Live is an incremental SGNS trainer over a growing row set. Rows are
+// appended by AddRow (up to Capacity) and trained by TrainSequence; the
+// caller owns the token→row mapping. Not safe for concurrent use.
+type Live struct {
+	opt   LiveOptions
+	model *emb.Model // Capacity × Dim, allocated once; rows < rows are live
+
+	rows   int
+	kinds  []vocab.Kind // per-row, for SIBoost
+	counts []uint64     // per-row occurrences consumed
+	total  uint64       // total tokens consumed
+
+	r    *rng.RNG
+	grad []float32
+	kept []int32
+
+	noise        *alias.Table // over rows [0, noiseRows)
+	noiseRows    int
+	sinceRebuild uint64
+
+	pairs, updates uint64
+}
+
+// NewLive allocates the trainer and its full-capacity matrices up front:
+// growth never reallocates, so snapshot copies and row views stay valid
+// row indices forever.
+func NewLive(opt LiveOptions) (*Live, error) {
+	if opt.RebuildEvery <= 0 {
+		opt.RebuildEvery = 4096
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return &Live{
+		opt: opt,
+		model: &emb.Model{
+			In:  emb.NewMatrix(opt.Capacity, opt.Dim),
+			Out: emb.NewMatrix(opt.Capacity, opt.Dim),
+		},
+		kinds:  make([]vocab.Kind, 0, opt.Capacity),
+		counts: make([]uint64, 0, opt.Capacity),
+		r:      rng.New(opt.Seed),
+		grad:   make([]float32, opt.Dim),
+		kept:   make([]int32, 0, 64),
+	}, nil
+}
+
+// AddRow appends a row for a newly admitted token and applies word2vec
+// initialization (input uniform in ±0.5/dim, output zero). It returns the
+// new row index and panics when the capacity is exhausted — admission is
+// the caller's budget gate, so overflow here is a bookkeeping bug.
+func (l *Live) AddRow(kind vocab.Kind) int32 {
+	if l.rows >= l.opt.Capacity {
+		panic(fmt.Sprintf("sgns: AddRow beyond capacity %d", l.opt.Capacity))
+	}
+	row := int32(l.rows)
+	in := l.model.In.Row(row)
+	inv := 1 / float32(l.opt.Dim)
+	for i := range in {
+		in[i] = (l.r.Float32() - 0.5) * inv
+	}
+	vecmath.Zero(l.model.Out.Row(row))
+	l.rows++
+	l.kinds = append(l.kinds, kind)
+	l.counts = append(l.counts, 0)
+	return row
+}
+
+// SetRow overwrites a row's vectors — the Eq. 6 seeding hook: a cold item
+// becomes servable with an SI-composed embedding before its first gradient
+// step. Slices shorter than Dim leave the remainder as initialized.
+func (l *Live) SetRow(row int32, in, out []float32) {
+	copy(l.model.In.Row(row), in)
+	copy(l.model.Out.Row(row), out)
+}
+
+// TrainSequence consumes one enriched sequence of row indices: counts are
+// bumped, frequent rows are subsampled on the fly, and every surviving
+// (target, context) pair in the reduced window gets one SGNS update.
+func (l *Live) TrainSequence(seq []int32) {
+	opt := &l.opt
+	for _, row := range seq {
+		l.counts[row]++
+	}
+	l.total += uint64(len(seq))
+	l.sinceRebuild += uint64(len(seq))
+	if l.noise == nil || l.sinceRebuild >= opt.RebuildEvery {
+		l.rebuildNoise()
+	}
+
+	kept := l.kept[:0]
+	for _, row := range seq {
+		if opt.SubsampleT > 0 && l.r.Float32() >= l.keepProb(row) {
+			continue
+		}
+		kept = append(kept, row)
+	}
+	l.kept = kept
+	if len(kept) < 2 {
+		return
+	}
+	stride := opt.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	steps := opt.Window / stride
+	if steps < 1 {
+		steps = 1
+	}
+	for i := range kept {
+		win := stride * (1 + l.r.Intn(steps))
+		lo := i - win
+		if opt.Directed || lo < 0 {
+			lo = i
+		}
+		hi := i + win
+		if hi >= len(kept) {
+			hi = len(kept) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			l.trainPair(kept[i], kept[j])
+		}
+	}
+}
+
+// keepProb is the Mikolov keep probability from the live counts, with the
+// SI boost for non-item rows — the streaming analogue of
+// subsampleKeepProbs, computed per occurrence instead of per epoch.
+func (l *Live) keepProb(row int32) float32 {
+	c := l.counts[row]
+	if c == 0 || l.total == 0 {
+		return 1
+	}
+	f := float64(c) / float64(l.total)
+	keep := math.Sqrt(l.opt.SubsampleT/f) + l.opt.SubsampleT/f
+	if keep > 1 {
+		keep = 1
+	}
+	if l.kinds[row] != vocab.KindItem {
+		keep *= l.opt.SIBoost
+	}
+	return float32(keep)
+}
+
+func (l *Live) rebuildNoise() {
+	l.sinceRebuild = 0
+	if l.rows == 0 {
+		return
+	}
+	w := make([]float64, l.rows)
+	for i := 0; i < l.rows; i++ {
+		if c := l.counts[i]; c > 0 {
+			w[i] = math.Pow(float64(c), l.opt.NoiseAlpha)
+		}
+	}
+	t, err := alias.New(w)
+	if err != nil {
+		// All-zero counts (rows admitted, nothing consumed yet): keep the
+		// previous table, or none — trainPair tolerates a nil table by
+		// skipping negatives.
+		return
+	}
+	l.noise = t
+	l.noiseRows = l.rows
+}
+
+func (l *Live) trainPair(target, ctx int32) {
+	opt := &l.opt
+	m := l.model
+	v := m.In.Row(target)
+	grad := l.grad
+	vecmath.Zero(grad)
+
+	c := m.Out.Row(ctx)
+	g := (1 - vecmath.Sigmoid(vecmath.Dot(v, c))) * opt.LR
+	vecmath.Axpy(g, c, grad)
+	vecmath.Axpy(g, v, c)
+
+	if l.noise != nil {
+		for n := 0; n < opt.Negatives; n++ {
+			t := int32(l.noise.Sample(l.r))
+			if t == ctx {
+				continue
+			}
+			c := m.Out.Row(t)
+			g := (0 - vecmath.Sigmoid(vecmath.Dot(v, c))) * opt.LR
+			vecmath.Axpy(g, c, grad)
+			vecmath.Axpy(g, v, c)
+		}
+	}
+	vecmath.Add(grad, v)
+	l.pairs++
+	l.updates += uint64(1 + opt.Negatives)
+}
+
+// Rows returns how many rows are live.
+func (l *Live) Rows() int { return l.rows }
+
+// Model exposes the live matrices. Rows >= Rows() are uninitialized
+// capacity; snapshot writers copy only the live prefix.
+func (l *Live) Model() *emb.Model { return l.model }
+
+// KindOf returns the kind recorded for a live row.
+func (l *Live) KindOf(row int32) vocab.Kind { return l.kinds[row] }
+
+// Count returns how many occurrences of row have been consumed.
+func (l *Live) Count(row int32) uint64 { return l.counts[row] }
+
+// Pairs returns how many positive pairs have been trained.
+func (l *Live) Pairs() uint64 { return l.pairs }
+
+// Updates returns pairs × (1+negatives) applied so far.
+func (l *Live) Updates() uint64 { return l.updates }
+
+// Tokens returns total tokens consumed (before subsampling).
+func (l *Live) Tokens() uint64 { return l.total }

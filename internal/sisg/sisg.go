@@ -160,61 +160,68 @@ func (m *Model) QueryVector(query int32) []float32 {
 	return m.Emb.In.Row(query)
 }
 
-// SimilarItems returns the top-k most similar items to query, excluding
-// query itself. This is the matching-stage primitive: "a candidate set of
+// Similar is the unified matching-stage read path: the top-opts.K most
+// similar items per seed, each seed's own id excluded — "a candidate set of
 // similar items is obtained for each item that users have interacted with".
-// It is the uncancellable convenience form; serving paths use
-// SimilarItemsOpts with a request context.
-func (m *Model) SimilarItems(query int32, k int) []knn.Result {
-	rs, _ := m.SimilarItemsOpts(context.Background(), query, k, knn.Options{}) //lint:allow ctxflow uncancellable convenience form; serving uses SimilarItemsOpts
-	return rs
-}
-
-// SimilarItemsOpts is SimilarItems with caller-chosen retrieval strategy:
-// opts.Index/NProbe/Quantized select the scan (flat brute force or IVF
-// ANN) while K, Normalize and Skip are still owned by the model so the
-// variant's scoring rule and self-exclusion cannot be overridden. The
-// context cancels the underlying scan at tile boundaries; a cancelled call
-// returns an error wrapping knn.ErrCanceled.
-func (m *Model) SimilarItemsOpts(ctx context.Context, query int32, k int, opts knn.Options) ([]knn.Result, error) {
-	opts.K = k
+// One seed runs a single scan with a skip-self predicate; several seeds
+// ride the engine's batched scan (each shard's rows streamed once for the
+// whole batch), requesting k+1 neighbours and dropping each seed's own id
+// afterwards, which is bit-identical to per-seed calls. opts.Index, NProbe
+// and Quantized select the scan strategy (flat brute force or IVF ANN);
+// Normalize and Skip are owned by the model so the variant's scoring rule
+// and self-exclusion cannot be overridden. The context cancels the scan at
+// tile boundaries; a cancelled call returns an error wrapping
+// knn.ErrCanceled. Cancellation fails the whole batch.
+func (m *Model) Similar(ctx context.Context, seeds []int32, opts knn.Options) ([][]knn.Result, error) {
 	opts.Normalize = !m.Variant.Directed
-	opts.Skip = func(id int32) bool { return id == query }
-	return m.ItemIndex().Query(ctx, m.QueryVector(query), opts)
-}
-
-// SimilarItemsBatch is SimilarItems for many query items at once, returning
-// candidate sets in query order. It rides the engine's batched scan (each
-// shard's rows are streamed once per batch), requesting k+1 neighbours
-// with no skip and dropping each query's own id afterwards — which yields
-// results bit-identical to per-query SimilarItems calls. Cancellation
-// fails the whole batch.
-func (m *Model) SimilarItemsBatch(ctx context.Context, queries []int32, k int) ([][]knn.Result, error) {
-	qvs := make([][]float32, len(queries))
-	for i, q := range queries {
+	if len(seeds) == 1 {
+		seed := seeds[0]
+		opts.Skip = func(id int32) bool { return id == seed }
+		rs, err := m.ItemIndex().Query(ctx, m.QueryVector(seed), opts)
+		if err != nil {
+			return nil, err
+		}
+		return [][]knn.Result{rs}, nil
+	}
+	k := opts.K
+	opts.K = k + 1
+	opts.Skip = nil
+	qvs := make([][]float32, len(seeds))
+	for i, q := range seeds {
 		qvs[i] = m.QueryVector(q)
 	}
-	batch, err := m.ItemIndex().QueryBatch(ctx, qvs, knn.Options{
-		K:         k + 1,
-		Normalize: !m.Variant.Directed,
-	})
+	batch, err := m.ItemIndex().QueryBatch(ctx, qvs, opts)
 	if err != nil {
 		return nil, err
 	}
 	for i, rs := range batch {
-		self := queries[i]
-		out := rs[:0:len(rs)]
-		for _, r := range rs {
-			if r.ID != self {
-				out = append(out, r)
-			}
-		}
-		if k < len(out) {
-			out = out[:k]
-		}
-		batch[i] = out
+		batch[i] = dropSelf(rs, seeds[i], k)
 	}
 	return batch, nil
+}
+
+// SimilarOne is Similar for exactly one seed — the thin delegation the HTTP
+// handlers and other single-seed callers use.
+func (m *Model) SimilarOne(ctx context.Context, seed int32, opts knn.Options) ([]knn.Result, error) {
+	batch, err := m.Similar(ctx, []int32{seed}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return batch[0], nil
+}
+
+// dropSelf removes self from a k+1-sized candidate list and trims to k.
+func dropSelf(rs []knn.Result, self int32, k int) []knn.Result {
+	out := rs[:0:len(rs)]
+	for _, r := range rs {
+		if r.ID != self {
+			out = append(out, r)
+		}
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
 }
 
 // SimilarToVector retrieves the top-k items for an arbitrary query vector

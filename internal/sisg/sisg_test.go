@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sisg/internal/corpus"
+	"sisg/internal/knn"
 	"sisg/internal/sgns"
 	"sisg/internal/vecmath"
 )
@@ -109,7 +110,10 @@ func TestSimilarItemsSane(t *testing.T) {
 			best, query = c, int32(i)
 		}
 	}
-	recs := m.SimilarItems(query, 10)
+	recs, err := m.SimilarOne(context.Background(), query, knn.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(recs) != 10 {
 		t.Fatalf("got %d recs", len(recs))
 	}
@@ -134,12 +138,12 @@ func TestSimilarItemsSane(t *testing.T) {
 }
 
 // The batched path (k+1 then drop-self) must be bit-identical to
-// per-query SimilarItems calls, under both scoring rules.
-func TestSimilarItemsBatchMatchesSingle(t *testing.T) {
+// per-query Similar calls, under both scoring rules.
+func TestSimilarBatchMatchesSingle(t *testing.T) {
 	for _, v := range []Variant{VariantSISGF, VariantSISGFUD} {
 		_, m := tinyModel(t, v)
 		queries := []int32{0, 3, 7, 7, 11}
-		batch, err := m.SimilarItemsBatch(context.Background(), queries, 8)
+		batch, err := m.Similar(context.Background(), queries, knn.Options{K: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +151,10 @@ func TestSimilarItemsBatchMatchesSingle(t *testing.T) {
 			t.Fatalf("%s: %d result sets for %d queries", v.Name, len(batch), len(queries))
 		}
 		for i, q := range queries {
-			want := m.SimilarItems(q, 8)
+			want, err := m.SimilarOne(context.Background(), q, knn.Options{K: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
 			got := batch[i]
 			if len(got) != len(want) {
 				t.Fatalf("%s: query %d: %d results, want %d", v.Name, q, len(got), len(want))
@@ -276,7 +283,10 @@ func TestSeedColdItemsCalibration(t *testing.T) {
 
 	// Cold items must now be retrievable and their recs category-coherent.
 	id := cold[0]
-	recs := m.SimilarItems(id, 10)
+	recs, err := m.SimilarOne(context.Background(), id, knn.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(recs) == 0 {
 		t.Fatal("cold item has no recommendations")
 	}
@@ -294,7 +304,10 @@ func TestSeedColdItemsCalibration(t *testing.T) {
 func TestDirectedModelUsesOutputIndex(t *testing.T) {
 	ds, m := tinyModel(t, VariantSISGFUD)
 	query := int32(1)
-	recs := m.SimilarItems(query, 5)
+	recs, err := m.SimilarOne(context.Background(), query, knn.Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(recs) == 0 {
 		t.Fatal("no results")
 	}

@@ -1,0 +1,219 @@
+package sisg
+
+import (
+	"context"
+	"testing"
+
+	"sisg/internal/corpus"
+	"sisg/internal/knn"
+	"sisg/internal/sgns"
+	"sisg/internal/vecmath"
+	"sisg/internal/vocab"
+)
+
+func testStreamer(t *testing.T) (*corpus.Live, *Streamer) {
+	t.Helper()
+	lv, err := corpus.NewLive(corpus.LiveConfig{
+		Base: corpus.Tiny(), ReserveItems: 30, LaunchEvery: 20, DriftEvery: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := sgns.LiveDefaults(0)
+	live.Window = 3
+	live.Seed = 5
+	st, err := NewStreamer(lv.Dict, StreamConfig{
+		Variant: VariantSISGFUD,
+		Admit:   vocab.AdmitConfig{Budget: 2000, MinCount: 1},
+		Live:    live,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv, st
+}
+
+func TestStreamerDeterministic(t *testing.T) {
+	run := func() *StreamSnapshot {
+		lv, st := testStreamer(t)
+		for i := 0; i < 300; i++ {
+			st.Ingest(lv.Next())
+		}
+		return st.Publish()
+	}
+	a, b := run(), run()
+	if a.VocabSize() != b.VocabSize() || a.NumItems() != b.NumItems() {
+		t.Fatalf("vocab %d/%d items %d/%d diverge", a.VocabSize(), b.VocabSize(), a.NumItems(), b.NumItems())
+	}
+	ad, bd := a.in.Data(), b.in.Data()
+	for i := range ad {
+		if ad[i] != bd[i] {
+			t.Fatalf("snapshot matrices diverge at %d", i)
+		}
+	}
+}
+
+func TestStreamerSnapshotServesAdmittedItems(t *testing.T) {
+	lv, st := testStreamer(t)
+	for i := 0; i < 400; i++ {
+		st.Ingest(lv.Next())
+	}
+	snap := st.Publish()
+	if snap.Generation() != 1 {
+		t.Fatalf("generation %d, want 1", snap.Generation())
+	}
+	if snap.NumItems() == 0 || snap.VocabSize() == 0 {
+		t.Fatal("empty snapshot after 400 sessions")
+	}
+	// Retrieve for some servable item and check candidate ids are catalog
+	// item ids (not compact rows): every id must be servable and != seed.
+	seed := snap.items[0]
+	rs, err := snap.Similar(context.Background(), []int32{seed}, knn.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs[0]) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, r := range rs[0] {
+		if r.ID == seed {
+			t.Fatal("seed not excluded")
+		}
+		if !snap.Servable(r.ID) {
+			t.Fatalf("candidate %d not servable", r.ID)
+		}
+	}
+	// Batch path bit-identical to per-seed path.
+	seeds := []int32{snap.items[0], snap.items[1], snap.items[2]}
+	batch, err := snap.Similar(context.Background(), seeds, knn.Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		one, err := snap.Similar(context.Background(), []int32{seed}, knn.Options{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(one[0]) {
+			t.Fatalf("seed %d: batch %d results, single %d", seed, len(batch[i]), len(one[0]))
+		}
+		for j := range batch[i] {
+			if batch[i][j] != one[0][j] {
+				t.Fatalf("seed %d result %d: batch %+v vs single %+v", seed, j, batch[i][j], one[0][j])
+			}
+		}
+	}
+	// A snapshot is immutable: further ingest must not change it.
+	before := append([]float32(nil), snap.itemIn.Row(0)...)
+	for i := 0; i < 100; i++ {
+		st.Ingest(lv.Next())
+	}
+	after := snap.itemIn.Row(0)
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatal("published snapshot mutated by later ingest")
+		}
+	}
+	if st.Publish().Generation() != 2 {
+		t.Fatal("second publish not generation 2")
+	}
+}
+
+// TestColdItemServableBeforeFirstGradientStep is the acceptance-criteria
+// proof: a brand-new item admitted mid-stream is servable via Eq. 6
+// composition BEFORE any gradient step has touched its rows. Admit and
+// Train are the two halves of Ingest; after Admit alone the item must
+// already carry the SI-composed embedding in the next snapshot.
+func TestColdItemServableBeforeFirstGradientStep(t *testing.T) {
+	lv, st := testStreamer(t)
+	// Warm the stream so SI tokens have rows and item norms exist.
+	for i := 0; i < 300; i++ {
+		st.Ingest(lv.Next())
+	}
+	// Find a catalog item the admitter has never seen.
+	var cold int32 = -1
+	for it := int32(0); int(it) < lv.Dict.NumItems; it++ {
+		if _, ok := st.adm.Row(it); !ok {
+			cold = it
+			break
+		}
+	}
+	if cold < 0 {
+		t.Skip("budget admitted the whole catalog; enlarge corpus")
+	}
+	// Admission only — no Train call, so no gradient step can have touched
+	// the new row.
+	st.Admit(corpus.Session{UserType: 0, Items: []int32{cold}})
+	snap := st.Publish()
+	if !snap.Servable(cold) {
+		t.Fatal("cold item not servable after admission")
+	}
+	// Its input row must be exactly the Eq. 6 composition of its admitted
+	// SI rows (scaled): collinear with the raw SI sum.
+	var si []float32
+	row := snap.rowOf
+	sum := make([]float32, snap.Dim())
+	for _, sid := range lv.Dict.ItemSI[cold] {
+		if r, ok := row[sid]; ok {
+			vecmath.Add(snap.in.Row(r), sum)
+		}
+	}
+	si = sum
+	got := snap.itemIn.Row(snap.itemRowOf[cold])
+	cos := vecmath.Cosine(si, got)
+	if cos < 0.999 {
+		t.Fatalf("cold item's vector not the Eq. 6 composition: cosine %.4f", cos)
+	}
+	// And it is retrievable: a query FOR it succeeds.
+	rs, err := snap.Similar(context.Background(), []int32{cold}, knn.Options{K: 5})
+	if err != nil || len(rs[0]) == 0 {
+		t.Fatalf("cold item not retrievable: %v (%d results)", err, len(rs[0]))
+	}
+}
+
+func TestStreamSnapshotColdPaths(t *testing.T) {
+	lv, st := testStreamer(t)
+	for i := 0; i < 400; i++ {
+		st.Ingest(lv.Next())
+	}
+	snap := st.Publish()
+	// Cold item by catalog id.
+	var target int32 = -1
+	for it := range snap.itemRowOf {
+		target = it
+		break
+	}
+	qv, err := snap.ColdItemVector(target)
+	if err != nil {
+		t.Fatalf("ColdItemVector: %v", err)
+	}
+	rs, err := snap.SimilarToVector(context.Background(), qv, 5, func(id int32) bool { return id == target })
+	if err != nil || len(rs) == 0 {
+		t.Fatalf("SimilarToVector: %v (%d results)", err, len(rs))
+	}
+	for _, r := range rs {
+		if r.ID == target {
+			t.Fatal("skip not honoured")
+		}
+	}
+	// Cold user via user types.
+	types := lv.Pop.TypesMatching(0, -1, -1)
+	if len(types) == 0 {
+		t.Fatal("no user types")
+	}
+	urs, err := snap.RecommendForColdUser(context.Background(), types, 5)
+	if err != nil {
+		t.Fatalf("RecommendForColdUser: %v", err)
+	}
+	if len(urs) == 0 {
+		t.Fatal("no cold-user recommendations")
+	}
+	// Unservable item errors cleanly.
+	if _, err := snap.Similar(context.Background(), []int32{int32(lv.Dict.NumItems) - 1}, knn.Options{K: 5}); err == nil {
+		// The last reserved item may legitimately have been admitted; only
+		// assert when it is not servable.
+		if !snap.Servable(int32(lv.Dict.NumItems) - 1) {
+			t.Fatal("unservable seed did not error")
+		}
+	}
+}
